@@ -1,0 +1,15 @@
+"""Bench: ablation A1 — visibility-aware delivery (Sec. 4.4 discussion)."""
+
+from repro.experiments import ablations
+
+
+def test_delivery_culling(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_delivery_culling,
+        kwargs={"n_users": 5, "duration_s": 30.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print(f"\nA1: {result.baseline_mbps:.2f} -> {result.culled_mbps:.2f} Mbps "
+          f"({result.savings_fraction:.0%} saved)")
+    assert result.culled_mbps < result.baseline_mbps
+    assert 0.02 < result.savings_fraction < 0.6

@@ -1,0 +1,18 @@
+"""Bench: ablation A5 — FEC for the loss-fragile semantic stream."""
+
+from repro.experiments import ablations
+
+
+def test_fec_resilience_sweep(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_fec_resilience,
+        kwargs={"duration_s": 8.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    assert result.fec_always_helps()
+    by_loss = {p.loss_rate: p for p in result.points}
+    # At 5% loss: plain delivery loses ~5% of frames, parity recovers
+    # almost all of them at 25% bandwidth overhead.
+    assert by_loss[0.05].availability_plain < 0.97
+    assert by_loss[0.05].availability_fec > 0.98

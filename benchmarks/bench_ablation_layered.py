@@ -1,0 +1,19 @@
+"""Bench: ablation A4 — layered semantic codec (rate adaptation)."""
+
+from repro.experiments import ablations
+
+
+def test_layered_codec_sweep(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_layered_codec, kwargs={"duration_s": 8.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    # Where FaceTime fails below 700 Kbps, the layered sender survives to
+    # the BASE layer's rate.
+    assert result.cutoff_kbps() <= 300.0
+    by_limit = {p.limit_kbps: p for p in result.points}
+    assert by_limit[600.0].availability >= 0.9       # FaceTime: broken here
+    assert by_limit[300.0].availability >= 0.9
+    assert by_limit[300.0].degraded                  # hands frozen at BASE
+    assert by_limit[100.0].availability == 0.0       # below even BASE

@@ -1,0 +1,16 @@
+"""Bench: ablation A2 — geo-distributed servers (Sec. 4.1 discussion)."""
+
+from repro.experiments import ablations
+
+
+def test_server_policies(benchmark):
+    results = benchmark.pedantic(
+        ablations.run_server_policies, rounds=1, iterations=1
+    )
+    for r in results:
+        print(f"\nA2 {r.scenario}: {r.initiator_nearest_ms:.0f} -> "
+              f"{r.geo_distributed_ms:.0f} ms "
+              f"({r.improvement_fraction:.0%} better)")
+        assert r.geo_distributed_ms < r.initiator_nearest_ms
+    # The intercontinental case shows the paper's > 100 ms QoE concern.
+    assert results[1].initiator_nearest_ms > 200

@@ -1,0 +1,26 @@
+"""Bench: ablation A6 — cloud rendering offload (the Sec. 4.5 remedy)."""
+
+from repro import calibration
+from repro.experiments import cloud_rendering
+
+
+def test_cloud_rendering_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        cloud_rendering.run, kwargs={"duration_s": 12.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    by_users = {p.n_users: p for p in result.points}
+    # Local rendering works to the cap, then collapses.
+    assert by_users[5].local_effective_fps > 85.0
+    assert by_users[6].local_effective_fps < 80.0
+    # The cloud removes the ceiling but sells interactivity + bandwidth.
+    assert result.cloud_removes_gpu_ceiling()
+    assert by_users[8].cloud_effective_fps > 85.0
+    assert result.cloud_costs_interactivity()
+    assert result.cloud_costs_bandwidth()
+    # Local viewport latency stays under the paper's 16 ms bound; cloud
+    # rides the network RTT.
+    assert by_users[5].local_viewport_latency_ms < \
+        calibration.DISPLAY_LATENCY_DIFF_BOUND_MS
+    assert by_users[5].cloud_viewport_latency_ms > 40.0

@@ -1,0 +1,22 @@
+"""Bench: the Sec. 4.3 display-latency sweep (0-1000 ms tc delay)."""
+
+from repro import calibration
+from repro.experiments import content_delivery
+
+
+def test_display_latency_sweep(benchmark):
+    result = benchmark.pedantic(
+        content_delivery.run_display_latency, kwargs={"seed": 0},
+        rounds=1, iterations=1,
+    )
+    local = result.series["local"]
+    print("\ninjected delay -> difference (local reconstruction):")
+    for delay, diff in local:
+        print(f"  {delay:6.0f} ms -> {diff:5.1f} ms")
+
+    # The paper's finding: < 16 ms, invariant under injected delay.
+    assert result.local_mode_invariant(
+        calibration.DISPLAY_LATENCY_DIFF_BOUND_MS
+    )
+    # And the counterfactual discriminates.
+    assert result.remote_mode_tracks_delay()

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 4 (two-party throughput per VCA)."""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def test_fig4_throughput(benchmark):
+    result = benchmark.pedantic(
+        fig4.run,
+        kwargs={"duration_s": 15.0, "repeats": 3, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+
+    # The paper's headline ordering and anchors.
+    assert result.ordering_holds()
+    assert result.summaries["F"].mean < 0.7
+    assert result.summaries["W"].mean > 4.0
+    for label, target in fig4.PAPER_MEANS_MBPS.items():
+        assert result.summaries[label].mean == pytest.approx(target, rel=0.15)

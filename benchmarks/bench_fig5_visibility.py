@@ -1,0 +1,49 @@
+"""Bench: regenerate Fig. 5 (visibility-aware optimizations) + A3."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5
+from repro.rendering.camera import Camera
+from repro.rendering.lod import LodPolicy, PersonaView
+from repro.rendering.pipeline import RenderPipeline
+
+
+def test_fig5_scenarios(benchmark):
+    result = benchmark.pedantic(
+        fig5.run, kwargs={"frames_per_scenario": 300, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    for name, (tri_paper, gpu_paper) in fig5.PAPER_ANCHORS.items():
+        assert result.triangles[name] == tri_paper
+        assert result.gpu_ms[name].mean == pytest.approx(gpu_paper, abs=0.15)
+
+
+def test_occlusion_not_adopted(benchmark):
+    result = benchmark.pedantic(
+        fig5.run_occlusion, kwargs={"occlusion_aware": False},
+        rounds=1, iterations=1,
+    )
+    assert not result.optimization_adopted()
+
+
+def test_ablation_a3_occlusion_aware(benchmark):
+    result = benchmark.pedantic(
+        fig5.run_occlusion, kwargs={"occlusion_aware": True},
+        rounds=1, iterations=1,
+    )
+    print(f"\nA3: {result.spread_triangles} -> {result.line_triangles} triangles")
+    assert result.optimization_adopted()
+
+
+def test_render_frame_speed(benchmark):
+    """Micro-bench: one pipeline frame with four personas."""
+    pipeline = RenderPipeline(seed=0)
+    camera = Camera(np.zeros(3), np.array([1.0, 0.0, 0.0]))
+    views = [
+        PersonaView(f"p{i}", np.array([1.5, 0.3 * i - 0.45, 0.0]), 10.0 * i)
+        for i in range(4)
+    ]
+    stats = benchmark(pipeline.render_frame, 0, camera, views)
+    assert stats.triangles > 0

@@ -1,0 +1,42 @@
+"""Bench: regenerate Fig. 6 (scalability of spatial personas)."""
+
+import pytest
+
+from repro import calibration
+from repro.experiments import fig6
+
+
+def test_fig6_rendering(benchmark):
+    result = benchmark.pedantic(
+        fig6.run_rendering,
+        kwargs={"duration_s": 30.0, "repeats": 3, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    # Fig. 6(b) anchors.
+    assert result.gpu_ms[2].mean == pytest.approx(
+        calibration.GPU_MS_TWO_USERS[0], abs=2 * calibration.GPU_MS_TWO_USERS[1]
+    )
+    assert result.gpu_ms[5].mean == pytest.approx(
+        calibration.GPU_MS_FIVE_USERS[0], abs=calibration.GPU_MS_FIVE_USERS[1]
+    )
+    assert result.cpu_ms[5].mean == pytest.approx(
+        calibration.CPU_MS_FIVE_USERS[0], abs=0.5
+    )
+    # Shape: monotone growth, deadline pressure, foveation-flattened tail.
+    assert result.triangles_grow_with_users()
+    assert result.gpu_approaches_deadline()
+    assert result.p5_grows_slower_than_mean()
+
+
+def test_fig6_network(benchmark):
+    result = benchmark.pedantic(
+        fig6.run_network,
+        kwargs={"duration_s": 12.0, "repeats": 3, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    assert result.grows_linearly()
+    assert result.downlink_mbps[5].mean == pytest.approx(
+        4 * calibration.SPATIAL_PERSONA_MBPS, rel=0.15
+    )

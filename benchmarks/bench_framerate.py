@@ -1,0 +1,17 @@
+"""Bench: displayed frame rate vs. user count (the five-persona cap)."""
+
+from repro.experiments import framerate
+
+
+def test_frame_rate_scalability(benchmark):
+    result = benchmark.pedantic(
+        framerate.run, kwargs={"duration_s": 25.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    # 2-5 users hold the 90 FPS target; a sixth user would not.
+    for n in (2, 3, 4, 5):
+        assert result.reports[n].effective_fps > 85.0
+    assert result.degrades_monotonically()
+    assert result.cap_is_justified()
+    assert result.reports[6].effective_fps < 80.0

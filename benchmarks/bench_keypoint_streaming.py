@@ -1,0 +1,38 @@
+"""Bench: the Sec. 4.3 keypoint streaming experiment (0.64 ± 0.02 Mbps)."""
+
+import pytest
+
+from repro import calibration
+from repro.experiments import content_delivery
+from repro.keypoints.codec import SemanticCodec
+from repro.keypoints.motion import capture_session
+
+
+def test_keypoint_streaming_experiment(benchmark):
+    result = benchmark.pedantic(
+        content_delivery.run_keypoint_streaming,
+        kwargs={"frames": calibration.RGBD_CAPTURE_FRAMES, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    summary = result.mbps
+    print(f"\nkeypoint streaming: {summary.mean:.3f} ± {summary.std:.3f} Mbps "
+          f"(paper 0.64 ± 0.02)")
+    paper_mean, paper_std = calibration.KEYPOINT_STREAMING_MBPS
+    assert summary.mean == pytest.approx(paper_mean, abs=3 * paper_std)
+    assert result.matches_spatial_persona()
+
+
+def test_semantic_encode_speed(benchmark):
+    """Micro-bench: one semantic frame encode (sender per-frame cost)."""
+    frame = capture_session(1, seed=0)[0]
+    codec = SemanticCodec(seed=0)
+    encoded = benchmark(codec.encode, frame)
+    assert encoded.byte_size > 0
+
+
+def test_semantic_decode_speed(benchmark):
+    """Micro-bench: one semantic frame decode (receiver per-frame cost)."""
+    codec = SemanticCodec(seed=0)
+    encoded = codec.encode(capture_session(1, seed=0)[0])
+    decoded = benchmark(codec.decode, encoded)
+    assert decoded.points.shape == (74, 3)

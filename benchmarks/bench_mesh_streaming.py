@@ -1,0 +1,37 @@
+"""Bench: the Sec. 4.3 Draco streaming experiment (107.4 ± 14.1 Mbps)."""
+
+import pytest
+
+from repro import calibration
+from repro.experiments import content_delivery
+from repro.mesh.codec import DracoLikeCodec
+from repro.mesh.generate import persona_mesh
+
+
+def test_mesh_streaming_experiment(benchmark):
+    result = benchmark.pedantic(
+        content_delivery.run_mesh_streaming, kwargs={"seed": 0},
+        rounds=1, iterations=1,
+    )
+    summary = result.summary
+    print(f"\nmesh streaming: {summary.mean:.1f} ± {summary.std:.1f} Mbps "
+          f"(paper 107.4 ± 14.1)")
+    paper_mean, paper_std = calibration.DRACO_STREAMING_MBPS
+    assert summary.mean == pytest.approx(paper_mean, abs=2 * paper_std)
+    assert result.dwarfs_spatial_persona()
+
+
+def test_draco_encode_speed(benchmark):
+    """Micro-bench: one persona-mesh encode (the per-frame cost)."""
+    mesh = persona_mesh(seed=0)
+    codec = DracoLikeCodec()
+    encoded = benchmark(codec.encode, mesh)
+    assert encoded.byte_size > 0
+
+
+def test_draco_decode_speed(benchmark):
+    """Micro-bench: one persona-mesh decode."""
+    codec = DracoLikeCodec()
+    encoded = codec.encode(persona_mesh(seed=0))
+    decoded = benchmark(codec.decode, encoded)
+    assert decoded.triangle_count == calibration.PERSONA_TRIANGLES

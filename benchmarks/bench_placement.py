@@ -1,0 +1,21 @@
+"""Bench: server-placement assessment (how good are the observed fleets?)."""
+
+from repro.geo.placement import assess_fleet
+from repro.geo.servers import ALL_FLEETS
+
+
+def test_fleet_placement_assessment(benchmark):
+    def assess_all():
+        return {
+            vca: assess_fleet(fleet) for vca, fleet in ALL_FLEETS.items()
+        }
+
+    assessments = benchmark(assess_all)
+    for vca, a in assessments.items():
+        print(f"\n{vca:9s} observed {a.observed_mean_rtt_ms:5.1f} ms "
+              f"optimal {a.optimal_mean_rtt_ms:5.1f} ms "
+              f"efficiency {a.efficiency:.2f}", end="")
+    # Four spread-out FaceTime servers are near-optimal; Teams's single
+    # West Coast relay leaves the Eastern users paying (Table 1's story).
+    assert assessments["FaceTime"].efficiency > 0.8
+    assert assessments["Teams"].efficiency < 0.8

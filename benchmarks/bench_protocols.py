@@ -1,0 +1,30 @@
+"""Bench: regenerate the Sec. 4.1 protocol/P2P/anycast findings."""
+
+from repro.experiments import protocols
+
+
+def test_protocol_matrix(benchmark):
+    matrix = benchmark.pedantic(
+        protocols.run_protocol_matrix, kwargs={"seed": 0},
+        rounds=1, iterations=1,
+    )
+    for obs in matrix:
+        print(f"\n{obs.vca:10s} {obs.device_mix:26s} -> "
+              f"{obs.observed_protocol} p2p={obs.p2p}", end="")
+    by_key = {(o.vca, o.device_mix): o for o in matrix}
+    avp2 = "Vision Pro+Vision Pro"
+    mixed = "Vision Pro+MacBook"
+    assert by_key[("FaceTime", avp2)].observed_protocol == "quic"
+    assert by_key[("FaceTime", mixed)].observed_protocol == "rtp"
+    assert by_key[("FaceTime", mixed)].p2p
+    assert not by_key[("FaceTime", avp2)].p2p
+    for vca in ("Zoom", "Webex", "Teams"):
+        assert by_key[(vca, avp2)].observed_protocol == "rtp"
+
+
+def test_anycast_check(benchmark):
+    verdicts = benchmark.pedantic(
+        protocols.run_anycast_check, kwargs={"repeats": 5, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    assert all(v is False for v in verdicts.values())

@@ -1,0 +1,14 @@
+"""Bench: the Sec. 4.3 rate-adaptation sweep (700 Kbps cutoff)."""
+
+from repro import calibration
+from repro.experiments import rate_adaptation
+
+
+def test_rate_adaptation_sweep(benchmark):
+    result = benchmark.pedantic(
+        rate_adaptation.run, kwargs={"duration_s": 12.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    assert result.cutoff_kbps() == calibration.RATE_ADAPTATION_CUTOFF_KBPS
+    assert result.no_rate_adaptation()

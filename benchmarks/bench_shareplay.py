@@ -1,0 +1,18 @@
+"""Bench: SharePlay shared content next to spatial personas (Sec. 5)."""
+
+from repro.experiments import shareplay
+
+
+def test_shareplay_study(benchmark):
+    outcomes = benchmark.pedantic(
+        shareplay.run, kwargs={"duration_s": 8.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + shareplay.format_table(outcomes))
+    # Shared content dominates bandwidth; the persona is untouched on a
+    # fast AP but starves behind heavy content on a 2 Mbps uplink.
+    assert outcomes["movie"].host_uplink_mbps > 5.0
+    for outcome in outcomes.values():
+        assert outcome.persona_survives_unconstrained
+    assert outcomes["game"].shaped_persona_availability < 0.9
+    assert outcomes["whiteboard"].shaped_persona_availability > 0.97

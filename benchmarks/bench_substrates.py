@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the simulation substrates themselves.
+
+These do not map to a paper table; they characterize the reproduction's
+own performance (events/second, codec throughput) so regressions in the
+simulator are caught alongside the experiment benches.
+"""
+
+import numpy as np
+
+from repro.geo.regions import city
+from repro.netsim.engine import Simulator
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.packet import IPPROTO_UDP, Packet
+from repro.vca.profiles import FACETIME
+from repro.vca.session import Participant, TelepresenceSession
+from repro.devices.models import VisionPro
+
+
+def test_event_engine_throughput(benchmark):
+    """Schedule and drain 10k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-4, lambda: None)
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+def test_network_packet_throughput(benchmark):
+    """Push 2k packets through the full fabric (shaper-free path)."""
+
+    def run():
+        sim = Simulator()
+        network = Network(sim)
+        a = Host("10.0.0.2", city("san jose"))
+        b = Host("10.0.1.2", city("dallas"))
+        network.attach(a)
+        network.attach(b)
+        delivered = []
+        b.bind(5000, delivered.append)
+        for i in range(2_000):
+            sim.schedule(i * 1e-4, lambda: a.send(Packet(
+                a.address, b.address, 4000, 5000, IPPROTO_UDP, b"x" * 500
+            )))
+        sim.run()
+        return len(delivered)
+
+    assert benchmark(run) == 2_000
+
+
+def test_spatial_session_simulation_speed(benchmark):
+    """One simulated second of a 5-user spatial FaceTime session."""
+
+    cities = ["san jose", "dallas", "washington", "chicago", "seattle"]
+
+    def run():
+        participants = [
+            Participant(f"U{i+1}", VisionPro(), city(cities[i]))
+            for i in range(5)
+        ]
+        session = TelepresenceSession(FACETIME, participants, seed=0)
+        result = session.run(1.0)
+        return sum(
+            len(c.records) for c in result.captures.values()
+        )
+
+    assert benchmark(run) > 0

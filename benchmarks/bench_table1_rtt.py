@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 1 (server RTT matrix) and check its shape."""
+
+import numpy as np
+
+from repro import calibration
+from repro.experiments import table1
+
+
+def test_table1_matrix(benchmark):
+    result = benchmark.pedantic(
+        table1.run, kwargs={"repeats": 5, "seed": 0}, rounds=1, iterations=1
+    )
+    print("\n" + result.format_table())
+
+    # Shape assertions against the paper.
+    assert result.max_std_ms() < calibration.TABLE1_RTT_STD_BOUND_MS
+    errors = [abs(m - p) for _, _, m, p in result.paper_comparison()]
+    assert float(np.mean(errors)) < 8.0
+    # Diagonals small, coast-to-coast large (the ~80 ms finding).
+    assert result.mean_ms("W", "FaceTime", "W") < 15
+    assert result.mean_ms("W", "FaceTime", "E") > 60

@@ -1,0 +1,13 @@
+"""Benchmark harness configuration.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Heavy experiment benches run a single round via ``benchmark.pedantic`` and
+assert the paper's shape on the produced result; substrate micro-benches
+(codecs, network, rendering) use the default timing loop.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+collect_ignore_glob: list = []

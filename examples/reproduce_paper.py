@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Prints a paper-vs-measured report for Table 1, Fig. 4, the Sec. 4.3
+content analysis, Fig. 5, Fig. 6, and the three ablations.  This is the
+script behind EXPERIMENTS.md; expect a few minutes of runtime.
+
+Usage::
+
+    python examples/reproduce_paper.py [--quick]
+
+``--quick`` shortens session durations and repeats (for smoke runs).
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import calibration
+from repro.experiments import (
+    ablations,
+    content_delivery,
+    fig4,
+    fig5,
+    fig6,
+    protocols,
+    rate_adaptation,
+    table1,
+)
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter sessions / fewer repeats")
+    args = parser.parse_args()
+    duration = 10.0 if args.quick else 30.0
+    repeats = 2 if args.quick else calibration.MIN_REPEATS
+
+    banner("Table 1 — server RTT matrix (ms)")
+    t1 = table1.run(repeats=repeats, seed=0)
+    print(t1.format_table())
+    errors = [abs(m - p) for _, _, m, p in t1.paper_comparison()]
+    print(f"\nmean |error| vs paper: {np.mean(errors):.1f} ms "
+          f"(worst {max(errors):.1f} ms); "
+          f"max cell std {t1.max_std_ms():.1f} ms (paper bound < 7 ms)")
+
+    banner("Sec. 4.1 — protocols, P2P, server selection, anycast")
+    for obs in protocols.run_protocol_matrix(seed=0):
+        print(f"  {obs.vca:10s} {obs.device_mix:26s} -> "
+              f"{obs.observed_protocol:5s} p2p={obs.p2p}")
+    print("  RTP fallback keeps 2D payload types:",
+          protocols.facetime_fallback_keeps_2d_payload_type(seed=0))
+    print("  anycast verdicts:", protocols.run_anycast_check(seed=0))
+
+    banner("Fig. 4 — two-party uplink throughput (Mbps)")
+    f4 = fig4.run(duration_s=duration, repeats=repeats, seed=0)
+    print(f4.format_table())
+    print("paper means:", fig4.PAPER_MEANS_MBPS)
+    print("ordering F < Z < F* < T < W holds:", f4.ordering_holds())
+
+    banner("Sec. 4.3 — what is being delivered?")
+    mesh = content_delivery.run_mesh_streaming(seed=0)
+    print(f"  Draco mesh streaming : {mesh.summary.mean:.1f} ± "
+          f"{mesh.summary.std:.1f} Mbps (paper 107.4 ± 14.1)")
+    keypoints = content_delivery.run_keypoint_streaming(seed=0)
+    print(f"  keypoints + LZMA     : {keypoints.mbps.mean:.3f} ± "
+          f"{keypoints.mbps.std:.3f} Mbps (paper 0.64 ± 0.02)")
+    latency = content_delivery.run_display_latency(seed=0)
+    print(f"  display-latency diff invariant under 0-1000 ms tc delay: "
+          f"{latency.local_mode_invariant()} (paper: < 16 ms)")
+
+    banner("Sec. 4.3 — rate adaptation")
+    ra = rate_adaptation.run(duration_s=duration / 2, seed=0)
+    print(ra.format_table())
+    print(f"cutoff: {ra.cutoff_kbps():.0f} Kbps (paper: 700); "
+          f"no rate adaptation: {ra.no_rate_adaptation()}")
+
+    banner("Fig. 5 — visibility-aware optimizations")
+    f5 = fig5.run(seed=0)
+    print(f5.format_table())
+    reductions = f5.reductions_vs_baseline()
+    print(f"GPU reductions: V {reductions['V']:.0%} (paper 59%), "
+          f"F {reductions['F']:.0%} (paper 39%), "
+          f"D {reductions['D']:.0%} (paper 40%)")
+    occ = fig5.run_occlusion(occlusion_aware=False)
+    print(f"occlusion optimization adopted: {occ.optimization_adopted()} "
+          f"(paper: not adopted)")
+    invariance = fig5.run_delivery_invariance(seed=0)
+    print(f"bandwidth unchanged: {invariance.bandwidth_unchanged()}; "
+          f"CPU unchanged: {invariance.cpu_unchanged()} (paper: both)")
+
+    banner("Fig. 6 — scalability, 2-5 users")
+    rendering = fig6.run_rendering(duration_s=duration, repeats=repeats, seed=0)
+    print(rendering.format_table())
+    print(f"GPU p95 at 5 users > 9 ms: {rendering.gpu_approaches_deadline()} "
+          f"(deadline {calibration.FRAME_DEADLINE_MS:.1f} ms)")
+    network = fig6.run_network(duration_s=duration / 2, repeats=repeats, seed=0)
+    print(network.format_table())
+    print("downlink linear:", network.grows_linearly())
+
+    banner("Ablations — the optimizations the paper proposes")
+    a1 = ablations.run_delivery_culling(n_users=5, duration_s=duration)
+    print(f"A1 visibility-aware delivery: {a1.baseline_mbps:.2f} -> "
+          f"{a1.culled_mbps:.2f} Mbps ({a1.savings_fraction:.0%} saved)")
+    for a2 in ablations.run_server_policies():
+        print(f"A2 {a2.scenario}: worst pair RTT "
+              f"{a2.initiator_nearest_ms:.0f} -> {a2.geo_distributed_ms:.0f} ms "
+              f"({a2.improvement_fraction:.0%} better)")
+    a3 = fig5.run_occlusion(occlusion_aware=True)
+    print(f"A3 occlusion-aware rendering: {a3.spread_triangles} -> "
+          f"{a3.line_triangles} triangles when personas line up")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""tc-style shaping probe: the rate-adaptation cliff (Sec. 4.3).
+
+Sweeps a token-bucket limit over U1's uplink during a spatial-persona
+session.  The sender keeps offering its fixed ~0.68 Mbps — no rate
+adaptation — so availability collapses once the limit crosses the stream's
+operating point, reproducing the "poor connection" cutoff below 700 Kbps.
+"""
+
+from repro.experiments import rate_adaptation
+
+
+def main() -> None:
+    result = rate_adaptation.run(duration_s=15.0, seed=0)
+    print(result.format_table())
+    print(f"\ncutoff (lowest working limit) : {result.cutoff_kbps():.0f} Kbps "
+          f"(paper: persona unavailable below 700 Kbps)")
+    print(f"sender adapts its rate?       : "
+          f"{not result.no_rate_adaptation()} "
+          f"(offered rate constant across all limits)")
+
+
+if __name__ == "__main__":
+    main()

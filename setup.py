@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works on environments whose setuptools lacks a
+bundled ``bdist_wheel`` (the offline test rig); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Measurement analysis: the Wireshark-side of the study.
+
+Turns packet captures into the observables the paper reports — windowed
+throughput distributions (Fig. 4, Fig. 6(c)), protocol identification from
+raw bytes (Sec. 4.1), and latency statistics (Table 1, Sec. 4.3).
+"""
+
+from repro.analysis.stats import SummaryStats, summarize_samples
+from repro.analysis.throughput import (
+    throughput_windows_mbps,
+    throughput_summary,
+)
+from repro.analysis.protocol import ProtocolReport, classify_capture
+from repro.analysis.latency import measure_server_rtts
+from repro.analysis.qoe_estimation import PassiveQoeEstimate, estimate_from_capture
+from repro.analysis.patterns import (
+    Burst,
+    InferredContent,
+    TrafficProfile,
+    classify_content,
+    estimate_rtp_loss,
+    largest_flow,
+    profile_records,
+    segment_bursts,
+    split_flows,
+)
+
+__all__ = [
+    "SummaryStats",
+    "summarize_samples",
+    "throughput_windows_mbps",
+    "throughput_summary",
+    "ProtocolReport",
+    "classify_capture",
+    "measure_server_rtts",
+    "Burst",
+    "InferredContent",
+    "TrafficProfile",
+    "classify_content",
+    "estimate_rtp_loss",
+    "largest_flow",
+    "profile_records",
+    "segment_bursts",
+    "split_flows",
+    "PassiveQoeEstimate",
+    "estimate_from_capture",
+]

@@ -1,0 +1,159 @@
+"""Structured paper-vs-measured validation.
+
+A :class:`AnchorCheck` pairs one measured scalar with its published
+anchor; :func:`validate_all` runs the cheap subset of experiments and
+returns every check, so a single call (or ``pytest`` assertion) certifies
+the whole calibration is intact after a model change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro import calibration
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One paper-vs-measured comparison."""
+
+    name: str
+    source: str
+    measured: float
+    paper_mean: float
+    paper_std: float
+    sigmas: float = 3.0
+
+    @property
+    def error(self) -> float:
+        """Measured minus paper mean."""
+        return self.measured - self.paper_mean
+
+    @property
+    def within_band(self) -> bool:
+        """Whether the measurement lies within ``sigmas`` published stds."""
+        band = max(self.paper_std, 1e-9) * self.sigmas
+        return abs(self.error) <= band
+
+    def row(self) -> str:
+        """One report line."""
+        flag = "ok " if self.within_band else "OFF"
+        return (
+            f"[{flag}] {self.name:28s} measured {self.measured:9.3f} "
+            f"paper {self.paper_mean:9.3f} ± {self.paper_std:.3f} "
+            f"({self.source})"
+        )
+
+
+def _gpu_checks() -> List[AnchorCheck]:
+    from repro.experiments import fig5
+
+    result = fig5.run(frames_per_scenario=150, seed=0)
+    anchors = {
+        "BL": calibration.GPU_MS_BASELINE,
+        "V": calibration.GPU_MS_VIEWPORT,
+        "F": calibration.GPU_MS_FOVEATED,
+        "D": calibration.GPU_MS_DISTANCE,
+    }
+    return [
+        AnchorCheck(
+            name=f"fig5 gpu_ms {name}",
+            source="Fig. 5",
+            measured=result.gpu_ms[name].mean,
+            paper_mean=mean,
+            paper_std=std,
+        )
+        for name, (mean, std) in anchors.items()
+    ]
+
+
+def _codec_checks() -> List[AnchorCheck]:
+    from repro.experiments import content_delivery
+
+    mesh = content_delivery.run_mesh_streaming(seed=0)
+    keypoints = content_delivery.run_keypoint_streaming(frames=400, seed=0)
+    return [
+        AnchorCheck(
+            name="draco streaming Mbps",
+            source="Sec. 4.3",
+            measured=mesh.summary.mean,
+            paper_mean=calibration.DRACO_STREAMING_MBPS[0],
+            paper_std=calibration.DRACO_STREAMING_MBPS[1],
+            sigmas=2.0,
+        ),
+        AnchorCheck(
+            name="keypoint streaming Mbps",
+            source="Sec. 4.3",
+            measured=keypoints.mbps.mean,
+            paper_mean=calibration.KEYPOINT_STREAMING_MBPS[0],
+            paper_std=calibration.KEYPOINT_STREAMING_MBPS[1],
+        ),
+    ]
+
+
+def _scalability_checks() -> List[AnchorCheck]:
+    from repro.experiments import fig6
+
+    rendering = fig6.run_rendering(duration_s=20.0, repeats=2, seed=0)
+    pairs = [
+        ("gpu_ms 2 users", rendering.gpu_ms[2].mean,
+         calibration.GPU_MS_TWO_USERS),
+        ("gpu_ms 5 users", rendering.gpu_ms[5].mean,
+         calibration.GPU_MS_FIVE_USERS),
+        ("cpu_ms 2 users", rendering.cpu_ms[2].mean,
+         calibration.CPU_MS_TWO_USERS),
+        ("cpu_ms 5 users", rendering.cpu_ms[5].mean,
+         calibration.CPU_MS_FIVE_USERS),
+    ]
+    return [
+        AnchorCheck(
+            name=f"fig6 {name}",
+            source="Fig. 6",
+            measured=measured,
+            paper_mean=mean,
+            paper_std=std,
+            sigmas=1.5,
+        )
+        for name, measured, (mean, std) in pairs
+    ]
+
+
+def _table1_checks() -> List[AnchorCheck]:
+    from repro.experiments import table1
+
+    result = table1.run(repeats=5, seed=0)
+    errors = [
+        abs(m - p) for _, _, m, p in result.paper_comparison()
+    ]
+    return [
+        AnchorCheck(
+            name="table1 mean |error| ms",
+            source="Table 1",
+            measured=float(np.mean(errors)),
+            paper_mean=0.0,
+            paper_std=calibration.TABLE1_RTT_STD_BOUND_MS,
+            sigmas=1.2,
+        )
+    ]
+
+
+def validate_all() -> List[AnchorCheck]:
+    """Run every anchor check (takes on the order of a minute)."""
+    checks: List[AnchorCheck] = []
+    for builder in (_gpu_checks, _codec_checks, _scalability_checks,
+                    _table1_checks):
+        checks.extend(builder())
+    return checks
+
+
+def format_report(checks: List[AnchorCheck]) -> str:
+    """Printable validation report."""
+    lines = [check.row() for check in checks]
+    failed = sum(1 for c in checks if not c.within_band)
+    lines.append(
+        f"{len(checks) - failed}/{len(checks)} anchors within band"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Calibration constants anchored to the paper's published measurements.
+
+Every number a simulated component is fit against lives here, together with a
+pointer to the section, table, or figure of the paper it comes from.  Keeping
+them in one module makes the provenance of the simulation auditable: a model
+elsewhere in the package never hard-codes a paper number directly, it imports
+it from here.
+
+Paper: Cheng, Wu, Varvello, Chai, Chen, Han.  "A First Look at Immersive
+Telepresence on Apple Vision Pro."  ACM IMC 2024.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# ---------------------------------------------------------------------------
+# Display / rendering targets (Sec. 3.2, Sec. 4.5)
+# ---------------------------------------------------------------------------
+
+#: Target frame rate of the Vision Pro display pipeline (Sec. 3.2, [10]).
+TARGET_FPS = 90
+
+#: Per-frame rendering deadline in milliseconds at the 90 FPS target
+#: (Sec. 1 and Sec. 4.5 call this ~11 ms / 11.1 ms).
+FRAME_DEADLINE_MS = 1000.0 / TARGET_FPS
+
+#: Maximum number of concurrent spatial personas FaceTime supports (Sec. 1, [16]).
+MAX_SPATIAL_PERSONAS = 5
+
+
+# ---------------------------------------------------------------------------
+# Spatial persona mesh (Sec. 4.3, Sec. 4.4)
+# ---------------------------------------------------------------------------
+
+#: Triangle count of a full-quality spatial persona mesh as reported by the
+#: RealityKit tool (Sec. 4.3 / Sec. 4.4 baseline).
+PERSONA_TRIANGLES = 78_030
+
+#: Triangle count rendered when the persona is outside the viewport
+#: (Sec. 4.4, viewport adaptation: 78,030 -> 36).
+VIEWPORT_CULLED_TRIANGLES = 36
+
+#: Triangle count rendered when the persona sits in peripheral vision
+#: (Sec. 4.4, foveated rendering: -73% -> 21,036).
+FOVEATED_TRIANGLES = 21_036
+
+#: Triangle count rendered beyond the 3 m distance threshold
+#: (Sec. 4.4, distance-aware optimization: -42% -> 45,036).
+DISTANCE_TRIANGLES = 45_036
+
+#: Viewing distance (meters) beyond which the lower-quality persona mesh is
+#: displayed (Sec. 4.4).
+DISTANCE_LOD_THRESHOLD_M = 3.0
+
+#: Sketchfab head meshes used for the Draco streaming experiment span roughly
+#: 70K to 90K triangles (Sec. 4.3).
+SKETCHFAB_HEAD_TRIANGLE_RANGE = (70_000, 90_000)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — GPU time per frame for a single persona (ms)
+# ---------------------------------------------------------------------------
+
+#: (mean_ms, std_ms) GPU processing time per frame, baseline: staring at the
+#: persona from 1 m (Sec. 4.4).
+GPU_MS_BASELINE = (6.55, 0.11)
+
+#: Viewport adaptation: persona out of view (-59% GPU time).
+GPU_MS_VIEWPORT = (2.68, 0.05)
+
+#: Foveated rendering: persona in peripheral vision (-39% GPU time).
+GPU_MS_FOVEATED = (3.97, 0.07)
+
+#: Distance-aware: persona beyond 3 m (-40% GPU time).
+GPU_MS_DISTANCE = (3.91, 0.05)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — scalability, 2 to 5 all-Vision-Pro users
+# ---------------------------------------------------------------------------
+
+#: (mean_ms, std_ms) GPU processing time per frame at 2 and 5 users (Sec. 4.5).
+GPU_MS_TWO_USERS = (5.65, 0.69)
+GPU_MS_FIVE_USERS = (7.62, 1.29)
+
+#: (mean_ms, std_ms) CPU processing time per frame at 2 and 5 users (Sec. 4.5).
+CPU_MS_TWO_USERS = (5.67, 0.69)
+CPU_MS_FIVE_USERS = (6.76, 1.29)
+
+
+# ---------------------------------------------------------------------------
+# Throughput (Fig. 4, Sec. 4.2, Sec. 4.3)
+# ---------------------------------------------------------------------------
+
+#: Mean uplink throughput of a spatial persona stream (Mbps), Sec. 4.3.
+SPATIAL_PERSONA_MBPS = 0.67
+
+#: Approximate uplink throughput of FaceTime's 2D persona (Mbps), Sec. 4.2.
+FACETIME_2D_MBPS = 2.0
+
+#: Approximate uplink throughput of Zoom's 2D persona (Mbps), Sec. 4.2.
+ZOOM_MBPS = 1.5
+
+#: Webex consumes the most bandwidth, > 4 Mbps (Sec. 4.2).
+WEBEX_MBPS = 4.3
+
+#: Teams sits between FaceTime-2D and Webex in Fig. 4 (exact value not printed
+#: in the text; see DESIGN.md "unspecified choices").
+TEAMS_MBPS = 2.8
+
+#: 2D persona render resolutions observed by the paper (Sec. 4.2).
+WEBEX_RESOLUTION = (1920, 1080)
+ZOOM_RESOLUTION = (640, 360)
+
+#: Draco-compressed mesh streaming at 90 FPS (mean, std) in Mbps, Sec. 4.3.
+DRACO_STREAMING_MBPS = (107.4, 14.1)
+
+#: LZMA-compressed 74-keypoint streaming at 90 FPS (mean, std) in Mbps, Sec. 4.3.
+KEYPOINT_STREAMING_MBPS = (0.64, 0.02)
+
+#: Number of semantic keypoints delivered per frame (Sec. 4.3):
+#: 32 mouth+eye facial keypoints plus two 21-point hands.
+FACIAL_SEMANTIC_KEYPOINTS = 32
+HAND_KEYPOINTS = 21
+SEMANTIC_KEYPOINTS_TOTAL = FACIAL_SEMANTIC_KEYPOINTS + 2 * HAND_KEYPOINTS
+
+#: Uplink bandwidth (Kbps) below which the spatial persona becomes unavailable
+#: and FaceTime shows "poor connection" (Sec. 4.3).
+RATE_ADAPTATION_CUTOFF_KBPS = 700
+
+#: RGB-D capture length used for the keypoint experiment (frames), Sec. 4.3.
+RGBD_CAPTURE_FRAMES = 2_000
+
+
+# ---------------------------------------------------------------------------
+# Display latency (Sec. 4.3)
+# ---------------------------------------------------------------------------
+
+#: Upper bound on the measured passthrough-vs-persona display latency
+#: difference (ms), invariant under 0-1000 ms of injected network delay.
+DISPLAY_LATENCY_DIFF_BOUND_MS = 16.0
+
+#: Range of extra network delay injected with tc (ms), Sec. 4.3.
+INJECTED_DELAY_RANGE_MS = (0, 1000)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — server RTT matrix (ms)
+# ---------------------------------------------------------------------------
+
+#: Table 1 of the paper.  Rows: test-user region (W, M, E).  Columns follow
+#: the paper's layout: FaceTime W/M1/M2/E, Zoom W/E, Webex W/M/E, Teams W.
+TABLE1_COLUMNS = (
+    ("FaceTime", "W"),
+    ("FaceTime", "M1"),
+    ("FaceTime", "M2"),
+    ("FaceTime", "E"),
+    ("Zoom", "W"),
+    ("Zoom", "E"),
+    ("Webex", "W"),
+    ("Webex", "M"),
+    ("Webex", "E"),
+    ("Teams", "W"),
+)
+
+#: Published mean RTTs; std of every cell is < 7 ms (Table 1 caption).
+TABLE1_RTT_MS = {
+    "W": (8.8, 38.0, 60.0, 77.0, 14.0, 76.0, 12.0, 40.0, 76.0, 31.0),
+    "M": (40.0, 6.7, 25.0, 44.0, 42.0, 33.0, 45.0, 5.9, 47.0, 52.0),
+    "E": (79.0, 36.0, 25.0, 8.7, 71.0, 9.8, 75.0, 33.0, 12.0, 56.0),
+}
+
+TABLE1_RTT_STD_BOUND_MS = 7.0
+
+#: Number of US servers operated by each VCA (Sec. 4.1).
+SERVER_COUNTS = {"FaceTime": 4, "Zoom": 2, "Webex": 3, "Teams": 1}
+
+
+# ---------------------------------------------------------------------------
+# Network path model (fit to Table 1; see repro.geo.latency)
+# ---------------------------------------------------------------------------
+
+#: Speed of light in fiber, meters per second (c * ~0.67).
+FIBER_SPEED_MPS = 2.0e8
+
+#: Multiplicative great-circle -> routed-path inflation factor, fit to the
+#: off-diagonal entries of Table 1.
+PATH_INFLATION = 1.75
+
+#: Fixed access / last-mile contribution to RTT in milliseconds (WiFi AP,
+#: home gateway, server ingress), fit to the diagonal of Table 1.
+ACCESS_RTT_MS = 6.0
+
+#: Per-AP WiFi throughput in the testbed exceeded 300 Mbps (Sec. 3.2).
+WIFI_AP_MBPS = 300.0
+
+#: Minimum per-user bandwidth in the scalability experiments (Sec. 4.5).
+SCALABILITY_MIN_BANDWIDTH_MBPS = 100.0
+
+
+# ---------------------------------------------------------------------------
+# Experiment protocol (Sec. 3.2)
+# ---------------------------------------------------------------------------
+
+#: Each experiment is repeated at least this many times.
+MIN_REPEATS = 5
+
+#: Each session lasts at least this many seconds.
+MIN_SESSION_SECONDS = 120
+
+
+@dataclass(frozen=True)
+class PaperStat:
+    """A (mean, std) pair published by the paper, kept with its source."""
+
+    mean: float
+    std: float
+    source: str
+
+    def within(self, value: float, sigmas: float = 3.0) -> bool:
+        """Return True when ``value`` lies within ``sigmas`` stds of the mean."""
+        return abs(value - self.mean) <= sigmas * max(self.std, 1e-9)
+
+
+#: Convenience table of the headline (mean, std) statistics.
+PAPER_STATS = {
+    "gpu_ms_baseline": PaperStat(*GPU_MS_BASELINE, source="Fig. 5 / Sec 4.4"),
+    "gpu_ms_viewport": PaperStat(*GPU_MS_VIEWPORT, source="Fig. 5 / Sec 4.4"),
+    "gpu_ms_foveated": PaperStat(*GPU_MS_FOVEATED, source="Fig. 5 / Sec 4.4"),
+    "gpu_ms_distance": PaperStat(*GPU_MS_DISTANCE, source="Fig. 5 / Sec 4.4"),
+    "gpu_ms_two_users": PaperStat(*GPU_MS_TWO_USERS, source="Fig. 6 / Sec 4.5"),
+    "gpu_ms_five_users": PaperStat(*GPU_MS_FIVE_USERS, source="Fig. 6 / Sec 4.5"),
+    "cpu_ms_two_users": PaperStat(*CPU_MS_TWO_USERS, source="Fig. 6 / Sec 4.5"),
+    "cpu_ms_five_users": PaperStat(*CPU_MS_FIVE_USERS, source="Fig. 6 / Sec 4.5"),
+    "draco_mbps": PaperStat(*DRACO_STREAMING_MBPS, source="Sec 4.3"),
+    "keypoint_mbps": PaperStat(*KEYPOINT_STREAMING_MBPS, source="Sec 4.3"),
+}

@@ -1,0 +1,7 @@
+"""Sensor capture simulation: enrollment, in-call tracking, RGB-D recording."""
+
+from repro.capture.enrollment import PersonaEnrollment
+from repro.capture.tracking import InCallTracker
+from repro.capture.rgbd import RgbdCamera
+
+__all__ = ["PersonaEnrollment", "InCallTracker", "RgbdCamera"]

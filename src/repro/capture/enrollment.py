@@ -1,0 +1,63 @@
+"""Spatial persona enrollment (TrueDepth pre-capture).
+
+Vision Pro users pre-capture their persona offline with the TrueDepth
+cameras (Sec. 2).  Enrollment here produces the 78,030-triangle persona
+mesh plus the keypoint rest pose the semantic pipeline deforms against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import calibration
+from repro.devices.models import CameraKind, Device
+from repro.keypoints.reconstruct import PersonaReconstructor
+from repro.mesh.generate import persona_mesh
+from repro.mesh.model import TriangleMesh
+
+
+class EnrollmentError(RuntimeError):
+    """Raised when a device cannot enroll a spatial persona."""
+
+
+@dataclass(frozen=True)
+class EnrolledPersona:
+    """The output of a successful enrollment."""
+
+    user_id: str
+    mesh: TriangleMesh
+
+    @property
+    def triangle_count(self) -> int:
+        """Mesh resolution, as RealityKit would report it."""
+        return self.mesh.triangle_count
+
+
+class PersonaEnrollment:
+    """Runs the offline persona pre-capture for one user."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    def enroll(self, user_id: str, seed: int = 0) -> EnrolledPersona:
+        """Capture and build the persona mesh.
+
+        Raises:
+            EnrollmentError: When the device lacks TrueDepth cameras or
+                does not support spatial personas at all.
+        """
+        if not self.device.supports_spatial_persona:
+            raise EnrollmentError(
+                f"{self.device.device_class.value} cannot host a spatial persona"
+            )
+        if CameraKind.TRUEDEPTH not in self.device.cameras:
+            raise EnrollmentError("enrollment requires the TrueDepth cameras")
+        mesh = persona_mesh(seed=seed)
+        assert mesh.triangle_count == calibration.PERSONA_TRIANGLES
+        return EnrolledPersona(user_id=user_id, mesh=mesh)
+
+    def build_reconstructor(self, persona: EnrolledPersona) -> PersonaReconstructor:
+        """The receiver-side reconstructor bound to this persona's mesh."""
+        return PersonaReconstructor(persona.mesh)

@@ -1,0 +1,47 @@
+"""In-call face/hand tracking on Vision Pro.
+
+During a call the downward cameras monitor the face and the internal
+cameras track the eyes (Sec. 2); the paper observes that only the mouth and
+eye regions actually drive the remote persona (Sec. 4.3).  The tracker
+wraps the motion synthesizer and exposes exactly the semantic keypoints
+the delivery pipeline sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.devices.models import CameraKind, Device
+from repro.keypoints.motion import KeypointFrame, MotionSynthesizer
+
+
+class TrackingError(RuntimeError):
+    """Raised when a device cannot run persona tracking."""
+
+
+@dataclass
+class InCallTracker:
+    """Streams tracked keypoints for one Vision Pro user.
+
+    Args:
+        device: The local headset.
+        fps: Tracking rate (matches the 90 FPS display pipeline).
+        seed: Motion seed; distinct users use distinct seeds.
+    """
+
+    device: Device
+    fps: float = 90.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        required = {CameraKind.DOWNWARD, CameraKind.INTERNAL}
+        if not required.issubset(self.device.cameras):
+            raise TrackingError(
+                "persona tracking needs the downward and internal cameras"
+            )
+        self._synth = MotionSynthesizer(fps=self.fps, seed=self.seed)
+
+    def frames(self, count: int) -> Iterator[KeypointFrame]:
+        """Yield ``count`` tracked frames."""
+        return self._synth.frames(count)

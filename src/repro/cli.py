@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Each subcommand regenerates one table/figure and prints it in the paper's
+layout; ``report`` runs everything and emits the markdown comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import calibration
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="session seconds per run")
+    parser.add_argument("--repeats", type=int,
+                        default=calibration.MIN_REPEATS,
+                        help="independent repeats per experiment")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'A First Look at Immersive Telepresence on Apple "
+            "Vision Pro' (IMC 2024) on the simulated testbed."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("table1", "Table 1: server RTT matrix"),
+        ("protocols", "Sec. 4.1: transport / P2P / anycast findings"),
+        ("fig4", "Fig. 4: two-party throughput per VCA"),
+        ("content", "Sec. 4.3: content-delivery elimination analysis"),
+        ("rate", "Sec. 4.3: rate-adaptation sweep"),
+        ("fig5", "Fig. 5: visibility-aware optimizations"),
+        ("fig6", "Fig. 6: scalability 2-5 users"),
+        ("ablations", "A1-A5 ablations"),
+        ("validate", "re-check every calibrated anchor against the paper"),
+        ("report", "full markdown reproduction report"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_common(p)
+        if name == "report":
+            p.add_argument("--quick", action="store_true",
+                           help="short smoke-run settings")
+            p.add_argument("--output", help="write markdown to this path")
+    return parser
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments import table1
+
+    result = table1.run(repeats=args.repeats, seed=args.seed)
+    print(result.format_table())
+    print(f"max cell std: {result.max_std_ms():.1f} ms (paper bound < 7)")
+    return 0
+
+
+def _cmd_protocols(args) -> int:
+    from repro.experiments import protocols
+
+    for obs in protocols.run_protocol_matrix(seed=args.seed):
+        print(f"{obs.vca:10s} {obs.device_mix:26s} -> "
+              f"{obs.observed_protocol:5s} p2p={obs.p2p}")
+    print("anycast:", protocols.run_anycast_check(seed=args.seed))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments import fig4
+    from repro.analysis.plots import box_plot
+
+    result = fig4.run(duration_s=args.duration, repeats=args.repeats,
+                      seed=args.seed)
+    print(result.format_table())
+    print()
+    print(box_plot(result.summaries, unit=" Mbps"))
+    print("ordering F < Z < F* < T < W:", result.ordering_holds())
+    return 0
+
+
+def _cmd_content(args) -> int:
+    from repro.experiments import content_delivery
+
+    mesh = content_delivery.run_mesh_streaming(seed=args.seed)
+    print(f"Draco mesh streaming : {mesh.summary.mean:.1f} ± "
+          f"{mesh.summary.std:.1f} Mbps (paper 107.4 ± 14.1)")
+    keypoints = content_delivery.run_keypoint_streaming(seed=args.seed)
+    print(f"keypoints + LZMA     : {keypoints.mbps.mean:.3f} ± "
+          f"{keypoints.mbps.std:.3f} Mbps (paper 0.64 ± 0.02)")
+    latency = content_delivery.run_display_latency(seed=args.seed)
+    print(f"display-latency invariant: {latency.local_mode_invariant()}")
+    return 0
+
+
+def _cmd_rate(args) -> int:
+    from repro.experiments import rate_adaptation
+
+    result = rate_adaptation.run(duration_s=args.duration, seed=args.seed)
+    print(result.format_table())
+    print(f"cutoff {result.cutoff_kbps():.0f} Kbps; "
+          f"no rate adaptation: {result.no_rate_adaptation()}")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.experiments import fig5
+    from repro.analysis.plots import box_plot
+
+    result = fig5.run(seed=args.seed)
+    print(result.format_table())
+    print()
+    print(box_plot(result.gpu_ms, unit=" ms"))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.experiments import fig6
+
+    rendering = fig6.run_rendering(duration_s=args.duration,
+                                   repeats=args.repeats, seed=args.seed)
+    print(rendering.format_table())
+    network = fig6.run_network(duration_s=args.duration / 2,
+                               repeats=args.repeats, seed=args.seed)
+    print(network.format_table())
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.experiments import ablations, fig5
+
+    a1 = ablations.run_delivery_culling(duration_s=args.duration,
+                                        seed=args.seed)
+    print(f"A1 delivery culling : {a1.baseline_mbps:.2f} -> "
+          f"{a1.culled_mbps:.2f} Mbps ({a1.savings_fraction:.0%})")
+    for a2 in ablations.run_server_policies():
+        print(f"A2 {a2.scenario}: {a2.initiator_nearest_ms:.0f} -> "
+              f"{a2.geo_distributed_ms:.0f} ms")
+    a3 = fig5.run_occlusion(occlusion_aware=True)
+    print(f"A3 occlusion-aware  : {a3.spread_triangles} -> "
+          f"{a3.line_triangles} triangles")
+    a4 = ablations.run_layered_codec(duration_s=args.duration / 2,
+                                     seed=args.seed)
+    print(a4.format_table())
+    print(f"A4 layered cutoff   : {a4.cutoff_kbps():.0f} Kbps "
+          f"(FaceTime: 700)")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.analysis.comparison import format_report, validate_all
+
+    del args
+    checks = validate_all()
+    print(format_report(checks))
+    return 0 if all(c.within_band for c in checks) else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.report import ReportSettings, generate_report
+
+    settings = (
+        ReportSettings.quick() if args.quick
+        else ReportSettings(duration_s=args.duration, repeats=args.repeats,
+                            seed=args.seed)
+    )
+    markdown = generate_report(settings)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "protocols": _cmd_protocols,
+    "fig4": _cmd_fig4,
+    "content": _cmd_content,
+    "rate": _cmd_rate,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "ablations": _cmd_ablations,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

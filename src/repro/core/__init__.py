@@ -1,0 +1,20 @@
+"""Core public API: the testbed and the study runner.
+
+This is the measurement methodology of the paper as a library: build the
+Fig. 3 testbed, run repeated sessions, and collect the observables.
+"""
+
+from repro.core.testbed import Testbed, default_two_user_testbed
+from repro.core.study import Study, Repeated, repeat_experiment
+from repro.core.campaign import Campaign, CampaignCell, CampaignRecord
+
+__all__ = [
+    "Testbed",
+    "default_two_user_testbed",
+    "Study",
+    "Repeated",
+    "repeat_experiment",
+    "Campaign",
+    "CampaignCell",
+    "CampaignRecord",
+]

@@ -1,0 +1,189 @@
+"""Automated measurement campaigns.
+
+Sec. 5 of the paper: "We are currently building open-source tools for
+Vision Pro to facilitate automated and large-scale crowd-sourced
+measurement experiments in the wild."  On the simulated testbed that tool
+already exists: a :class:`Campaign` sweeps a configuration grid (VCA x
+device mix x user count x repeats), runs every cell unattended, and
+collects one flat record per session — exportable to CSV for whatever
+analysis stack the user prefers.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro import calibration
+from repro.analysis.protocol import classify_capture
+from repro.analysis.throughput import throughput_windows_mbps
+from repro.core.testbed import multi_user_testbed
+from repro.devices.models import Device, VisionPro
+from repro.netsim.capture import Direction
+from repro.vca.profiles import PROFILES, PersonaKind, VcaProfile
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One configuration to measure."""
+
+    vca: str
+    n_users: int
+    device_factory: Callable[[], Device] = VisionPro
+    duration_s: float = 15.0
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.vca not in PROFILES:
+            raise ValueError(f"unknown VCA {self.vca!r}")
+        if self.n_users < 2:
+            raise ValueError("need at least two users")
+        if self.duration_s <= 0 or self.repeats < 1:
+            raise ValueError("duration and repeats must be positive")
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One measured session, flattened for tabular export."""
+
+    vca: str
+    n_users: int
+    device: str
+    repeat: int
+    seed: int
+    persona_kind: str
+    protocol: str
+    p2p: bool
+    server_label: str
+    uplink_mbps_mean: float
+    downlink_mbps_mean: float
+    persona_availability: float
+
+    FIELDS = (
+        "vca", "n_users", "device", "repeat", "seed", "persona_kind",
+        "protocol", "p2p", "server_label", "uplink_mbps_mean",
+        "downlink_mbps_mean", "persona_availability",
+    )
+
+    def as_row(self) -> List[str]:
+        """CSV row in :attr:`FIELDS` order."""
+        return [str(getattr(self, name)) for name in self.FIELDS]
+
+
+class Campaign:
+    """Runs a grid of session configurations unattended."""
+
+    def __init__(self, cells: Sequence[CampaignCell], base_seed: int = 0) -> None:
+        if not cells:
+            raise ValueError("campaign needs at least one cell")
+        self.cells = list(cells)
+        self.base_seed = base_seed
+        self.records: List[CampaignRecord] = []
+
+    @classmethod
+    def grid(
+        cls,
+        vcas: Iterable[str],
+        user_counts: Iterable[int],
+        duration_s: float = 15.0,
+        repeats: int = 3,
+        base_seed: int = 0,
+    ) -> "Campaign":
+        """A full-factorial campaign over VCAs and user counts.
+
+        Spatial-persona-capped configurations (FaceTime above five users)
+        are skipped automatically.
+        """
+        cells = []
+        for vca in vcas:
+            for n in user_counts:
+                profile = PROFILES[vca]
+                if (profile.supports_spatial
+                        and n > calibration.MAX_SPATIAL_PERSONAS):
+                    continue
+                cells.append(CampaignCell(vca, n, duration_s=duration_s,
+                                          repeats=repeats))
+        return cls(cells, base_seed=base_seed)
+
+    def run(self, progress: Optional[Callable[[str], None]] = None
+            ) -> List[CampaignRecord]:
+        """Execute every cell; returns (and stores) the records."""
+        self.records = []
+        seed = self.base_seed
+        for cell in self.cells:
+            for repeat in range(cell.repeats):
+                if progress is not None:
+                    progress(
+                        f"{cell.vca} n={cell.n_users} repeat={repeat}"
+                    )
+                self.records.append(self._run_one(cell, repeat, seed))
+                seed += 1
+        return self.records
+
+    def _run_one(self, cell: CampaignCell, repeat: int,
+                 seed: int) -> CampaignRecord:
+        testbed = multi_user_testbed(
+            cell.n_users, device_factory=cell.device_factory
+        )
+        session = testbed.session(PROFILES[cell.vca], seed=seed)
+        result = session.run(cell.duration_s)
+        capture = result.capture_of("U1")
+        up = throughput_windows_mbps(capture, Direction.UPLINK)
+        down = throughput_windows_mbps(capture, Direction.DOWNLINK)
+        availability = 1.0
+        if result.persona_kind is PersonaKind.SPATIAL:
+            receiver = result.receiver_of("U2")
+            stats = receiver.stats.get(result.addresses["U1"])
+            availability = stats.availability() if stats else 0.0
+        protocol_report = classify_capture(capture)
+        device = cell.device_factory().device_class.value
+        return CampaignRecord(
+            vca=cell.vca,
+            n_users=cell.n_users,
+            device=device,
+            repeat=repeat,
+            seed=seed,
+            persona_kind=result.persona_kind.value,
+            protocol=protocol_report.dominant,
+            p2p=result.p2p,
+            server_label=result.server.label if result.server else "-",
+            uplink_mbps_mean=float(np.mean(up)) if up else 0.0,
+            downlink_mbps_mean=float(np.mean(down)) if down else 0.0,
+            persona_availability=availability,
+        )
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Export the collected records.
+
+        Raises:
+            RuntimeError: If :meth:`run` has not produced records yet.
+        """
+        if not self.records:
+            raise RuntimeError("run() the campaign before exporting")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(CampaignRecord.FIELDS)
+            for record in self.records:
+                writer.writerow(record.as_row())
+
+    def summary_by(self, key: str) -> Dict[str, Dict[str, float]]:
+        """Group records by a field; mean uplink/downlink per group."""
+        groups: Dict[str, List[CampaignRecord]] = {}
+        for record in self.records:
+            groups.setdefault(str(getattr(record, key)), []).append(record)
+        return {
+            name: {
+                "uplink_mbps_mean": float(
+                    np.mean([r.uplink_mbps_mean for r in records])
+                ),
+                "downlink_mbps_mean": float(
+                    np.mean([r.downlink_mbps_mean for r in records])
+                ),
+                "sessions": float(len(records)),
+            }
+            for name, records in groups.items()
+        }

@@ -1,0 +1,88 @@
+"""Study runner: repeated experiments with independent seeds.
+
+The paper repeats every experiment at least five times (Sec. 3.2).  The
+helpers here run a measurement function across seeds and aggregate the
+per-repeat results, so every experiment module shares the same repetition
+discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro import calibration
+from repro.analysis.stats import SummaryStats, summarize_samples
+
+T = TypeVar("T")
+
+
+@dataclass
+class Repeated(Generic[T]):
+    """Results of one experiment across its repeats."""
+
+    name: str
+    results: List[T]
+
+    @property
+    def n(self) -> int:
+        """Number of repeats."""
+        return len(self.results)
+
+    def values(self, extract: Callable[[T], float]) -> List[float]:
+        """Pull one scalar from each repeat."""
+        return [extract(r) for r in self.results]
+
+    def summary(self, extract: Callable[[T], float]) -> SummaryStats:
+        """Box-plot summary of one scalar across repeats."""
+        return summarize_samples(self.values(extract))
+
+
+def repeat_experiment(
+    name: str,
+    run: Callable[[int], T],
+    repeats: int = calibration.MIN_REPEATS,
+    base_seed: int = 0,
+) -> Repeated[T]:
+    """Run ``run(seed)`` for ``repeats`` independent seeds.
+
+    Raises:
+        ValueError: If fewer repeats than the paper's minimum are requested
+            with ``enforce_minimum``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return Repeated(name, [run(base_seed + i) for i in range(repeats)])
+
+
+@dataclass
+class Study:
+    """A named collection of repeated experiments.
+
+    Experiments register themselves by name; :meth:`report` prints every
+    collected summary in a stable order.  This is the top-level object the
+    examples drive.
+    """
+
+    name: str
+    repeats: int = calibration.MIN_REPEATS
+    base_seed: int = 0
+    _collected: Dict[str, Repeated] = field(default_factory=dict)
+
+    def run(self, experiment_name: str, fn: Callable[[int], T]) -> Repeated[T]:
+        """Run and store one experiment."""
+        result = repeat_experiment(
+            experiment_name, fn, repeats=self.repeats, base_seed=self.base_seed
+        )
+        self._collected[experiment_name] = result
+        return result
+
+    def get(self, experiment_name: str) -> Repeated:
+        """A previously run experiment."""
+        return self._collected[experiment_name]
+
+    def experiment_names(self) -> List[str]:
+        """All stored experiments, in insertion order."""
+        return list(self._collected)

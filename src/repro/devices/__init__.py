@@ -1,0 +1,21 @@
+"""Device models for the testbed endpoints."""
+
+from repro.devices.models import (
+    Device,
+    DeviceClass,
+    VisionPro,
+    MacBook,
+    IPad,
+    IPhone,
+    CameraKind,
+)
+
+__all__ = [
+    "Device",
+    "DeviceClass",
+    "VisionPro",
+    "MacBook",
+    "IPad",
+    "IPhone",
+    "CameraKind",
+]

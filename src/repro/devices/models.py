@@ -1,0 +1,90 @@
+"""Endpoint device models.
+
+The testbed (Sec. 3.2) pairs a Vision Pro user (U1) with a second user on
+Vision Pro, MacBook, iPad, or iPhone.  The device mix decides everything
+downstream: persona kind (spatial personas render only when *every*
+participant has a Vision Pro), FaceTime's transport (QUIC iff all Vision
+Pro), and the rendering workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+
+class DeviceClass(enum.Enum):
+    """The four endpoint types the paper tests."""
+
+    VISION_PRO = "Vision Pro"
+    MACBOOK = "MacBook"
+    IPAD = "iPad"
+    IPHONE = "iPhone"
+
+
+class CameraKind(enum.Enum):
+    """Vision Pro's camera suite (Fig. 2 of the paper)."""
+
+    MAIN = "main"              # front see-through view of the real world
+    TRACKING = "tracking"      # position + extra surroundings
+    TRUEDEPTH = "truedepth"    # offline spatial-persona pre-capture
+    DOWNWARD = "downward"      # monitors the user's face in-call
+    INTERNAL = "internal"      # eye tracking (eye contact, foveation)
+
+
+@dataclass(frozen=True)
+class Device:
+    """An endpoint participating in a telepresence session.
+
+    Attributes:
+        device_class: What kind of hardware this is.
+        cameras: The sensors the device exposes.
+        display_fps: Target display refresh driving render deadlines.
+    """
+
+    device_class: DeviceClass
+    cameras: FrozenSet[CameraKind] = frozenset()
+    display_fps: int = 60
+
+    @property
+    def supports_spatial_persona(self) -> bool:
+        """Spatial personas require the full Vision Pro sensor suite."""
+        return self.device_class is DeviceClass.VISION_PRO
+
+    @property
+    def can_render_spatial_persona(self) -> bool:
+        """Only a headset can *display* spatial personas in 3D."""
+        return self.device_class is DeviceClass.VISION_PRO
+
+
+def VisionPro() -> Device:
+    """An Apple Vision Pro with the Fig. 2 camera suite, 90 FPS display."""
+    return Device(
+        DeviceClass.VISION_PRO,
+        cameras=frozenset(CameraKind),
+        display_fps=90,
+    )
+
+
+def MacBook() -> Device:
+    """A MacBook with its FaceTime camera (2D persona endpoints)."""
+    return Device(DeviceClass.MACBOOK, cameras=frozenset({CameraKind.MAIN}))
+
+
+def IPad() -> Device:
+    """An iPad with front camera."""
+    return Device(DeviceClass.IPAD, cameras=frozenset({CameraKind.MAIN}))
+
+
+def IPhone() -> Device:
+    """An iPhone with TrueDepth front camera."""
+    return Device(
+        DeviceClass.IPHONE,
+        cameras=frozenset({CameraKind.MAIN, CameraKind.TRUEDEPTH}),
+    )
+
+
+def all_vision_pro(devices: Tuple[Device, ...]) -> bool:
+    """Whether every participant is on Vision Pro (the QUIC condition)."""
+    return all(d.device_class is DeviceClass.VISION_PRO for d in devices)

@@ -1,0 +1,48 @@
+"""Experiment reproductions, one module per table/figure/finding.
+
+========================  ====================================================
+Module                    Reproduces
+========================  ====================================================
+``table1``                Table 1: server RTT matrix from W/M/E test users
+``protocols``             Sec. 4.1: QUIC/RTP choice, P2P policy, server
+                          selection, anycast check
+``fig4``                  Fig. 4: two-party throughput per VCA
+``content_delivery``      Sec. 4.3: Draco streaming, keypoint streaming,
+                          display-latency invariance
+``rate_adaptation``       Sec. 4.3: the 700 Kbps spatial-persona cutoff
+``fig5``                  Fig. 5: visibility-aware rendering optimizations
+``fig6``                  Fig. 6: scalability (triangles, CPU/GPU, downlink)
+``ablations``             A1 delivery-side culling, A2 geo-distributed
+                          servers, A3 occlusion-aware rendering
+========================  ====================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    cloud_rendering,
+    content_delivery,
+    fig4,
+    fig5,
+    fig6,
+    framerate,
+    protocols,
+    qoe_study,
+    shareplay,
+    rate_adaptation,
+    table1,
+)
+
+__all__ = [
+    "table1",
+    "protocols",
+    "fig4",
+    "content_delivery",
+    "rate_adaptation",
+    "fig5",
+    "fig6",
+    "ablations",
+    "framerate",
+    "qoe_study",
+    "shareplay",
+    "cloud_rendering",
+]

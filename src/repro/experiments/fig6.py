@@ -1,0 +1,134 @@
+"""Fig. 6 + Sec. 4.5: scalability of spatial personas, 2 to 5 users.
+
+Two coupled measurements per user count:
+
+- **Rendering** (Fig. 6(a)(b)): natural sessions through the attention
+  model — rendered triangles, CPU ms, GPU ms per frame.
+- **Network** (Fig. 6(c)): all-Vision-Pro FaceTime sessions through the
+  SFU — per-client downlink throughput, which grows linearly because the
+  server only forwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro import calibration
+from repro.analysis.stats import SummaryStats, summarize_samples
+from repro.analysis.throughput import throughput_windows_mbps
+from repro.core.testbed import multi_user_testbed
+from repro.netsim.capture import Direction
+from repro.rendering.pipeline import RenderPipeline
+from repro.vca.profiles import PROFILES
+
+USER_COUNTS = (2, 3, 4, 5)
+
+
+@dataclass
+class RenderScalability:
+    """Fig. 6(a)(b) observables per user count."""
+
+    triangles: Dict[int, SummaryStats]
+    gpu_ms: Dict[int, SummaryStats]
+    cpu_ms: Dict[int, SummaryStats]
+
+    def format_table(self) -> str:
+        """Printable Fig. 6(a)(b)."""
+        lines = [
+            "users  tri_mean  tri_p5   gpu mean±std  gpu_p95  cpu mean±std"
+        ]
+        for n in USER_COUNTS:
+            t, g, c = self.triangles[n], self.gpu_ms[n], self.cpu_ms[n]
+            lines.append(
+                f"{n:5d}  {t.mean:8.0f}  {t.p5:7.0f}  "
+                f"{g.mean:5.2f}±{g.std:4.2f}  {g.p95:7.2f}  "
+                f"{c.mean:5.2f}±{c.std:4.2f}"
+            )
+        return "\n".join(lines)
+
+    def gpu_approaches_deadline(self) -> bool:
+        """At five users the GPU p95 nears the 11.1 ms budget (>9 ms)."""
+        return self.gpu_ms[5].p95 > 9.0
+
+    def triangles_grow_with_users(self) -> bool:
+        """Mean rendered triangles increase monotonically."""
+        means = [self.triangles[n].mean for n in USER_COUNTS]
+        return all(a < b for a, b in zip(means, means[1:]))
+
+    def p5_grows_slower_than_mean(self) -> bool:
+        """Foveation flattens the lower tail from 3 to 5 users."""
+        mean_growth = self.triangles[5].mean / self.triangles[3].mean
+        p5_growth = self.triangles[5].p5 / max(self.triangles[3].p5, 1.0)
+        return p5_growth < mean_growth
+
+
+def run_rendering(duration_s: float = 60.0,
+                  repeats: int = calibration.MIN_REPEATS,
+                  seed: int = 0) -> RenderScalability:
+    """Render sessions for every user count and summarize the counters."""
+    triangles: Dict[int, SummaryStats] = {}
+    gpu: Dict[int, SummaryStats] = {}
+    cpu: Dict[int, SummaryStats] = {}
+    for n in USER_COUNTS:
+        tri_samples: List[float] = []
+        gpu_samples: List[float] = []
+        cpu_samples: List[float] = []
+        for repeat in range(repeats):
+            pipeline = RenderPipeline(seed=seed + repeat * 10 + n)
+            frames = pipeline.render_session(
+                [f"U{i + 2}" for i in range(n - 1)], duration_s=duration_s
+            )
+            tri_samples.extend(float(f.triangles) for f in frames)
+            gpu_samples.extend(f.gpu_ms for f in frames)
+            cpu_samples.extend(f.cpu_ms for f in frames)
+        triangles[n] = summarize_samples(tri_samples)
+        gpu[n] = summarize_samples(gpu_samples)
+        cpu[n] = summarize_samples(cpu_samples)
+    return RenderScalability(triangles, gpu, cpu)
+
+
+@dataclass
+class NetworkScalability:
+    """Fig. 6(c): per-client downlink throughput per user count."""
+
+    downlink_mbps: Dict[int, SummaryStats]
+
+    def format_table(self) -> str:
+        """Printable Fig. 6(c)."""
+        lines = ["users  downlink mean  p5     p95   (Mbps)"]
+        for n in USER_COUNTS:
+            s = self.downlink_mbps[n]
+            lines.append(f"{n:5d}  {s.mean:13.2f}  {s.p5:5.2f}  {s.p95:5.2f}")
+        return "\n".join(lines)
+
+    def grows_linearly(self, tolerance: float = 0.25) -> bool:
+        """Downlink ~ (n - 1) * per-stream rate (pure SFU forwarding)."""
+        means = {n: self.downlink_mbps[n].mean for n in USER_COUNTS}
+        per_stream = means[2]  # one remote stream at two users
+        for n in USER_COUNTS:
+            expected = (n - 1) * per_stream
+            if abs(means[n] - expected) > tolerance * expected:
+                return False
+        return True
+
+
+def run_network(duration_s: float = 20.0,
+                repeats: int = calibration.MIN_REPEATS,
+                seed: int = 0) -> NetworkScalability:
+    """All-Vision-Pro FaceTime sessions, 2-5 users, downlink at U1's AP."""
+    facetime = PROFILES["FaceTime"]
+    result: Dict[int, SummaryStats] = {}
+    for n in USER_COUNTS:
+        windows: List[float] = []
+        for repeat in range(repeats):
+            testbed = multi_user_testbed(n)
+            session = testbed.session(facetime, seed=seed + repeat)
+            outcome = session.run(duration_s)
+            windows.extend(throughput_windows_mbps(
+                outcome.capture_of("U1"), Direction.DOWNLINK
+            ))
+        result[n] = summarize_samples(windows)
+    return NetworkScalability(result)

@@ -1,0 +1,63 @@
+"""Displayed frame rate vs. user count (the Sec. 3.2 frame-rate metric).
+
+The paper measures "Frame Rate and Rendering Time for Each Frame" and
+links the five-persona cap to the GPU approaching the 11.1 ms deadline
+(Sec. 4.5).  This experiment closes that loop: run the natural sessions,
+push the per-frame GPU times through the vsync scheduler, and report the
+*displayed* FPS plus a what-if at six users (one past the cap) showing why
+FaceTime stops at five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import calibration
+from repro.rendering.framerate import FrameRateReport, analyze_frame_rate
+from repro.rendering.pipeline import RenderPipeline
+
+
+@dataclass
+class FrameRateScalability:
+    """Displayed-FPS reports per user count."""
+
+    reports: Dict[int, FrameRateReport]
+
+    def format_table(self) -> str:
+        """Printable table."""
+        lines = ["users  effective_fps  miss_rate  worst_run"]
+        for n, report in sorted(self.reports.items()):
+            lines.append(
+                f"{n:5d}  {report.effective_fps:13.1f}  "
+                f"{report.miss_rate:9.3f}  {report.worst_consecutive_misses:9d}"
+            )
+        return "\n".join(lines)
+
+    def degrades_monotonically(self) -> bool:
+        """Displayed FPS must not improve as personas are added."""
+        fps = [r.effective_fps for _, r in sorted(self.reports.items())]
+        return all(a >= b - 0.5 for a, b in zip(fps, fps[1:]))
+
+    def cap_is_justified(self, cap: int = calibration.MAX_SPATIAL_PERSONAS
+                         ) -> bool:
+        """The what-if past the cap degrades markedly more than at it."""
+        over = self.reports.get(cap + 1)
+        at = self.reports.get(cap)
+        if over is None or at is None:
+            return False
+        return over.miss_rate > 2.0 * max(at.miss_rate, 0.005)
+
+
+def run(duration_s: float = 40.0, seed: int = 0,
+        include_over_cap: bool = True) -> FrameRateScalability:
+    """Measure displayed FPS for 2-5 users, plus the 6-user what-if."""
+    counts = [2, 3, 4, 5] + ([6] if include_over_cap else [])
+    reports = {}
+    for n in counts:
+        pipeline = RenderPipeline(seed=seed + n)
+        frames = pipeline.render_session(
+            [f"U{i + 2}" for i in range(n - 1)], duration_s=duration_s
+        )
+        reports[n] = analyze_frame_rate(frames)
+    return FrameRateScalability(reports)

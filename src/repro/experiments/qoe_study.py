@@ -1,0 +1,123 @@
+"""QoE across geography and server policies (extends Sec. 4.1's analysis).
+
+The paper argues the initiator-nearest single relay "could become more
+pronounced when users are distributed across continents" against the
+100 ms one-way QoE threshold.  This study makes that argument end to end:
+for each scenario (US regional, US coast-to-coast, intercontinental) it
+computes per-pair one-way delays under both server policies and turns
+them into QoE scores via :mod:`repro.vca.qoe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import city
+from repro.geo.servers import ALL_FLEETS, ServerFleet
+from repro.experiments.ablations import GLOBAL_CITIES, _global_fleet
+from repro.vca.qoe import QoeFactors, score
+
+
+@dataclass(frozen=True)
+class QoeScenario:
+    """One geography under study."""
+
+    name: str
+    initiator: GeoPoint
+    participants: Sequence[GeoPoint]
+    intercontinental: bool = False
+
+
+def default_scenarios() -> List[QoeScenario]:
+    """The three geographies the paper's discussion spans."""
+    return [
+        QoeScenario(
+            "US regional (all Western)",
+            city("san jose"),
+            [city("san jose"), city("seattle")],
+        ),
+        QoeScenario(
+            "US coast-to-coast",
+            city("washington"),
+            [city("san jose"), city("dallas"), city("washington")],
+        ),
+        QoeScenario(
+            "Intercontinental",
+            GLOBAL_CITIES["london"],
+            [city("san jose"), GLOBAL_CITIES["london"],
+             GLOBAL_CITIES["tokyo"]],
+            intercontinental=True,
+        ),
+    ]
+
+
+@dataclass
+class QoeOutcome:
+    """QoE under both policies for one scenario."""
+
+    scenario: str
+    initiator_nearest_qoe: float
+    geo_distributed_qoe: float
+    worst_one_way_ms: float
+
+    @property
+    def geo_distribution_helps(self) -> bool:
+        """Whether the remedy improves the experience."""
+        return self.geo_distributed_qoe > self.initiator_nearest_qoe
+
+
+def _qoe_for_worst_pair(fleet: ServerFleet, initiator: GeoPoint,
+                        participants: Sequence[GeoPoint],
+                        geo_distributed: bool,
+                        backbone_speedup: float) -> "tuple[float, float]":
+    if geo_distributed:
+        rtt = fleet.worst_pair_rtt_ms_geo_distributed(
+            participants, backbone_speedup=backbone_speedup
+        )
+    else:
+        rtt = fleet.worst_pair_rtt_ms(initiator, participants)
+    one_way = rtt / 2.0
+    factors = QoeFactors(
+        one_way_delay_ms=one_way,
+        persona_availability=1.0,
+        displayed_fps=90.0,
+    )
+    return score(factors), one_way
+
+
+def run(vca: str = "FaceTime", backbone_speedup: float = 1.6,
+        scenarios: Sequence[QoeScenario] = ()) -> List[QoeOutcome]:
+    """Score every scenario under both selection policies."""
+    outcomes = []
+    for scenario in scenarios or default_scenarios():
+        fleet = ALL_FLEETS[vca]
+        if scenario.intercontinental:
+            fleet = _global_fleet(fleet)
+        nearest_qoe, one_way = _qoe_for_worst_pair(
+            fleet, scenario.initiator, scenario.participants,
+            geo_distributed=False, backbone_speedup=backbone_speedup,
+        )
+        distributed_qoe, _ = _qoe_for_worst_pair(
+            fleet, scenario.initiator, scenario.participants,
+            geo_distributed=True, backbone_speedup=backbone_speedup,
+        )
+        outcomes.append(QoeOutcome(
+            scenario=scenario.name,
+            initiator_nearest_qoe=nearest_qoe,
+            geo_distributed_qoe=distributed_qoe,
+            worst_one_way_ms=one_way,
+        ))
+    return outcomes
+
+
+def format_table(outcomes: List[QoeOutcome]) -> str:
+    """Printable study."""
+    lines = ["scenario                      one-way   QoE(nearest)  QoE(geo)"]
+    for o in outcomes:
+        lines.append(
+            f"{o.scenario:28s}  {o.worst_one_way_ms:6.0f} ms"
+            f"  {o.initiator_nearest_qoe:11.2f}  {o.geo_distributed_qoe:8.2f}"
+        )
+    return "\n".join(lines)

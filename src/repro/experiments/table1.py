@@ -1,0 +1,92 @@
+"""Table 1: RTT between VCA servers and W/M/E test users.
+
+The paper TCP-pings every discovered US server of the four VCAs from three
+test users (Western, Middle, Eastern US) and reports the mean RTTs; every
+cell's standard deviation is below 7 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro import calibration
+from repro.analysis.latency import measure_server_rtts
+from repro.analysis.stats import SummaryStats
+from repro.geo.regions import Region, test_clients
+from repro.geo.servers import ALL_FLEETS, Server
+
+
+@dataclass
+class Table1Result:
+    """The measured RTT matrix.
+
+    ``cells`` maps (region code, "<vca>/<label>") to the RTT summary.
+    """
+
+    cells: Dict[Tuple[str, str], SummaryStats]
+
+    def mean_ms(self, region: str, vca: str, label: str) -> float:
+        """Mean RTT of one cell, in ms."""
+        return self.cells[(region, f"{vca}/{label}")].mean
+
+    def max_std_ms(self) -> float:
+        """Largest per-cell std — the paper bounds it at 7 ms."""
+        return max(s.std for s in self.cells.values())
+
+    def row(self, region: str) -> List[float]:
+        """One region's means, in the paper's column order."""
+        return [
+            self.mean_ms(region, vca, label)
+            for vca, label in calibration.TABLE1_COLUMNS
+        ]
+
+    def format_table(self) -> str:
+        """Render the matrix in the paper's layout."""
+        header = "Users | " + " | ".join(
+            f"{vca[:4]}-{label}" for vca, label in calibration.TABLE1_COLUMNS
+        )
+        lines = [header, "-" * len(header)]
+        for region in ("W", "M", "E"):
+            values = " | ".join(f"{v:7.1f}" for v in self.row(region))
+            lines.append(f"{region:5s} | {values}")
+        return "\n".join(lines)
+
+    def paper_comparison(self) -> List[Tuple[str, str, float, float]]:
+        """(region, column, measured mean, paper mean) for every cell."""
+        rows = []
+        for region in ("W", "M", "E"):
+            paper_row = calibration.TABLE1_RTT_MS[region]
+            for (vca, label), paper_value in zip(
+                calibration.TABLE1_COLUMNS, paper_row
+            ):
+                rows.append(
+                    (region, f"{vca}/{label}",
+                     self.mean_ms(region, vca, label), paper_value)
+                )
+        return rows
+
+
+def _table1_servers() -> List[Server]:
+    """All servers, in the paper's column order."""
+    return [
+        ALL_FLEETS[vca].by_label(label)
+        for vca, label in calibration.TABLE1_COLUMNS
+    ]
+
+
+def run(repeats: int = calibration.MIN_REPEATS, seed: int = 0) -> Table1Result:
+    """Measure the full matrix.
+
+    Each cell is the mean of ``repeats`` TCP pings through a fresh
+    simulated path (Sec. 3.2 repeats every experiment at least 5 times).
+    """
+    servers = _table1_servers()
+    cells: Dict[Tuple[str, str], SummaryStats] = {}
+    for region, client in test_clients().items():
+        measured = measure_server_rtts(
+            client, servers, repeats=repeats, seed=seed + ord(region.value)
+        )
+        for key, stats in measured.items():
+            cells[(region.value, key)] = stats
+    return Table1Result(cells)

@@ -1,0 +1,44 @@
+"""Geography substrate: coordinates, US regions, server fleets, RTT model.
+
+This package replaces the paper's physical vantage points (eight client
+locations across the Western, Middle, and Eastern US) and the VCA providers'
+production server infrastructure with a calibrated model:
+
+- :mod:`repro.geo.coords` — latitude/longitude points and great-circle math.
+- :mod:`repro.geo.regions` — the W/M/E region catalog of test cities.
+- :mod:`repro.geo.latency` — the propagation + inflation + access RTT model
+  fit to Table 1 of the paper.
+- :mod:`repro.geo.servers` — per-VCA server fleets and the initiator-nearest
+  selection policy the paper reverse-engineers in Sec. 4.1.
+- :mod:`repro.geo.geolocate` — MaxMind/ipinfo-style geolocation with
+  city-level error, and the anycast-detection probe.
+"""
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.regions import Region, CITY_CATALOG, city, test_clients
+from repro.geo.latency import PathModel, rtt_ms
+from repro.geo.servers import Server, ServerFleet, build_fleet, ALL_FLEETS
+from repro.geo.geolocate import GeoDatabase, AnycastProbe
+from repro.geo.traceroute import TcpTraceroute, synthesize_path
+from repro.geo.placement import assess_fleet, optimize_placement
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "Region",
+    "CITY_CATALOG",
+    "city",
+    "test_clients",
+    "PathModel",
+    "rtt_ms",
+    "Server",
+    "ServerFleet",
+    "build_fleet",
+    "ALL_FLEETS",
+    "GeoDatabase",
+    "AnycastProbe",
+    "TcpTraceroute",
+    "synthesize_path",
+    "assess_fleet",
+    "optimize_placement",
+]

@@ -1,0 +1,54 @@
+"""Geographic coordinates and great-circle distance.
+
+The RTT model in :mod:`repro.geo.latency` is driven entirely by great-circle
+distances between named points, so this module is the geometric foundation of
+the Table 1 reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Mean Earth radius in kilometers (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A named point on the Earth's surface.
+
+    Attributes:
+        name: Human-readable label (usually a city).
+        lat: Latitude in degrees, positive north.
+        lon: Longitude in degrees, positive east.
+    """
+
+    name: str
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometers."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, in kilometers.
+
+    Uses the haversine formula, which is numerically stable for the
+    continental-US distances this package cares about.
+    """
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    h = min(1.0, h)
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))

@@ -1,0 +1,125 @@
+"""Geolocation database and anycast-detection probe.
+
+The paper geolocates discovered server addresses with MaxMind and ipinfo.io
+(Sec. 4.1) and verifies none of the providers uses anycast by probing one
+address from several vantage points (the approach of prior work [24]): with
+unicast, the RTT from each vantage point is consistent with a *single*
+physical location; with anycast, geographically distant vantage points both
+see implausibly low RTTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
+from repro.geo.servers import Server, ALL_FLEETS
+
+
+@dataclass
+class GeoDatabase:
+    """A MaxMind/ipinfo-style IP-to-location database with city-level error.
+
+    Real geolocation databases resolve datacenter addresses to within tens of
+    kilometers of the true city.  ``error_km`` displaces the reported
+    coordinates by a deterministic per-address offset of that magnitude.
+    """
+
+    error_km: float = 25.0
+    _records: Dict[str, GeoPoint] = field(default_factory=dict)
+
+    def register(self, address: str, location: GeoPoint) -> None:
+        """Add (or overwrite) a record for ``address``."""
+        self._records[address] = location
+
+    def register_servers(self, servers: Iterable[Server]) -> None:
+        """Register every server of one or more fleets."""
+        for server in servers:
+            self.register(server.address, server.location)
+
+    def lookup(self, address: str) -> GeoPoint:
+        """Resolve an address to an (error-displaced) location.
+
+        Raises:
+            KeyError: If the address has no record, like a miss in MaxMind.
+        """
+        true = self._records[address]
+        rng = np.random.default_rng(abs(hash(address)) % (2**32))
+        bearing = rng.uniform(0.0, 2.0 * np.pi)
+        dlat = (self.error_km / 111.0) * np.sin(bearing)
+        dlon = (self.error_km / (111.0 * max(np.cos(np.radians(true.lat)), 0.1))) * np.cos(bearing)
+        return GeoPoint(f"{true.name} (geolocated)", true.lat + dlat, true.lon + dlon)
+
+
+def default_database() -> GeoDatabase:
+    """A database pre-populated with every server of the four VCA fleets."""
+    db = GeoDatabase()
+    for fleet in ALL_FLEETS.values():
+        db.register_servers(fleet.servers)
+    return db
+
+
+@dataclass
+class AnycastProbe:
+    """Detect anycast by comparing multi-vantage RTTs against geometry.
+
+    For a unicast address there exists *some* location on Earth whose
+    speed-of-light constraints are consistent with every measured RTT.  For
+    an anycast address, two distant vantage points can both measure small
+    RTTs, which is geometrically impossible for any single location: light
+    cannot cover ``distance(v1, v2)`` within ``(rtt1 + rtt2) / 2``.
+    """
+
+    path_model: PathModel = field(default_factory=lambda: DEFAULT_PATH_MODEL)
+
+    def min_feasible_rtt_sum_ms(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Lower bound on rtt(a, X) + rtt(b, X) over all locations X.
+
+        The bound is the direct propagation RTT between the vantage points
+        themselves (triangle inequality), *without* inflation — the most
+        conservative possible path.
+        """
+        distance_m = haversine_km(a, b) * 1000.0
+        return 2.0 * distance_m / self.path_model.fiber_speed_mps * 1000.0
+
+    def is_anycast(
+        self,
+        rtts_ms: Sequence[Tuple[GeoPoint, float]],
+        slack_ms: float = 2.0,
+    ) -> bool:
+        """Classify a set of (vantage, measured RTT) pairs.
+
+        Returns True when any pair of vantage points violates the
+        speed-of-light feasibility bound by more than ``slack_ms``.
+        """
+        for i, (va, ra) in enumerate(rtts_ms):
+            for vb, rb in rtts_ms[i + 1:]:
+                if ra + rb + slack_ms < self.min_feasible_rtt_sum_ms(va, vb):
+                    return True
+        return False
+
+    def probe_server(
+        self,
+        server: Server,
+        vantages: Sequence[GeoPoint],
+        repeats: int = 5,
+        seed: Optional[int] = None,
+    ) -> List[Tuple[GeoPoint, float]]:
+        """Measure mean RTT to ``server`` from each vantage point."""
+        model = self.path_model
+        if seed is not None:
+            model = PathModel(
+                fiber_speed_mps=model.fiber_speed_mps,
+                inflation=model.inflation,
+                access_rtt_ms=model.access_rtt_ms,
+                jitter_std_ms=model.jitter_std_ms,
+            )
+            model.seed(seed)
+        return [
+            (v, float(np.mean(model.sample_rtt_ms(v, server.location, repeats))))
+            for v in vantages
+        ]

@@ -1,0 +1,79 @@
+"""Wide-area RTT model fit to Table 1 of the paper.
+
+The model decomposes a round-trip time into:
+
+- fiber propagation along the great circle, at ~2/3 c;
+- a multiplicative path-inflation factor capturing routed paths being longer
+  than the great circle (fit to the off-diagonal entries of Table 1); and
+- a fixed access component for the WiFi AP / last mile / server ingress
+  (fit to the diagonal entries, where propagation is negligible).
+
+Table 1's caption bounds the standard deviation of every cell at < 7 ms, so
+the jitter model draws per-measurement noise well inside that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import calibration
+from repro.geo.coords import GeoPoint
+
+
+@dataclass
+class PathModel:
+    """Deterministic RTT model plus a jitter distribution.
+
+    Attributes:
+        fiber_speed_mps: Propagation speed in fiber (m/s).
+        inflation: Great-circle to routed-path inflation factor.
+        access_rtt_ms: Fixed access contribution to the RTT (both ends).
+        jitter_std_ms: Standard deviation of per-measurement Gaussian jitter.
+    """
+
+    fiber_speed_mps: float = calibration.FIBER_SPEED_MPS
+    inflation: float = calibration.PATH_INFLATION
+    access_rtt_ms: float = calibration.ACCESS_RTT_MS
+    jitter_std_ms: float = 1.8
+    _rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0), repr=False
+    )
+
+    def seed(self, seed: int) -> None:
+        """Reseed the jitter source (used by experiment repeats)."""
+        self._rng = np.random.default_rng(seed)
+
+    def propagation_rtt_ms(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Round-trip propagation delay along the inflated path, in ms."""
+        path_m = a.distance_km(b) * 1000.0 * self.inflation
+        return 2.0 * path_m / self.fiber_speed_mps * 1000.0
+
+    def base_rtt_ms(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Noise-free RTT between two endpoints, in ms."""
+        return self.access_rtt_ms + self.propagation_rtt_ms(a, b)
+
+    def one_way_ms(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Noise-free one-way delay, in ms (half the base RTT)."""
+        return self.base_rtt_ms(a, b) / 2.0
+
+    def sample_rtt_ms(self, a: GeoPoint, b: GeoPoint, n: int = 1) -> np.ndarray:
+        """Draw ``n`` jittered RTT measurements between two endpoints.
+
+        Jitter is truncated at zero so a measurement can never be faster
+        than 40% of the noise-free path.
+        """
+        base = self.base_rtt_ms(a, b)
+        samples = base + self._rng.normal(0.0, self.jitter_std_ms, size=n)
+        return np.maximum(samples, 0.4 * base)
+
+
+#: Module-level default model, shared by code that does not need custom fit.
+DEFAULT_PATH_MODEL = PathModel()
+
+
+def rtt_ms(a: GeoPoint, b: GeoPoint, model: Optional[PathModel] = None) -> float:
+    """Noise-free RTT between ``a`` and ``b`` using ``model`` (or the default)."""
+    return (model or DEFAULT_PATH_MODEL).base_rtt_ms(a, b)

@@ -1,0 +1,141 @@
+"""Server placement optimization: how good are the observed fleets?
+
+Sec. 4.1 measures where the four providers put their US relays and what
+RTTs result.  A natural follow-up the paper leaves open: are those
+placements any good for the user population, and how much would more (or
+better-placed) servers help?  This module answers with the classic
+k-median machinery: greedy placement plus local-exchange refinement over
+a candidate grid, scored by mean client-to-nearest-server RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
+from repro.geo.regions import all_clients
+from repro.geo.servers import ServerFleet
+
+#: Candidate placement sites: a coarse grid over the continental US.
+_US_LAT = np.arange(26.0, 49.0, 2.0)
+_US_LON = np.arange(-124.0, -68.0, 2.5)
+
+
+def candidate_sites() -> List[GeoPoint]:
+    """The candidate grid (continental-US lattice points)."""
+    return [
+        GeoPoint(f"site-{lat:.0f}-{lon:.0f}", float(lat), float(lon))
+        for lat in _US_LAT for lon in _US_LON
+    ]
+
+
+def mean_rtt_ms(servers: Sequence[GeoPoint],
+                clients: Sequence[GeoPoint],
+                model: Optional[PathModel] = None) -> float:
+    """Mean client-to-nearest-server RTT for a placement.
+
+    Raises:
+        ValueError: With no servers or no clients.
+    """
+    if not servers or not clients:
+        raise ValueError("need at least one server and one client")
+    model = model or DEFAULT_PATH_MODEL
+    total = 0.0
+    for client in clients:
+        total += min(model.base_rtt_ms(client, s) for s in servers)
+    return total / len(clients)
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """An optimized placement and its score."""
+
+    servers: List[GeoPoint]
+    mean_rtt_ms: float
+
+
+def optimize_placement(
+    k: int,
+    clients: Optional[Sequence[GeoPoint]] = None,
+    model: Optional[PathModel] = None,
+    exchange_rounds: int = 2,
+) -> PlacementResult:
+    """Greedy + local-exchange k-median over the candidate grid.
+
+    Args:
+        k: Number of servers to place.
+        clients: Demand points (default: the paper's eight vantage cities).
+        model: RTT model.
+        exchange_rounds: Passes of single-site exchange refinement.
+
+    Raises:
+        ValueError: For non-positive ``k``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    clients = list(clients) if clients is not None else all_clients()
+    model = model or DEFAULT_PATH_MODEL
+    sites = candidate_sites()
+
+    chosen: List[GeoPoint] = []
+    for _ in range(k):  # greedy additions
+        best_site, best_score = None, float("inf")
+        for site in sites:
+            if site in chosen:
+                continue
+            score = mean_rtt_ms(chosen + [site], clients, model)
+            if score < best_score:
+                best_site, best_score = site, score
+        assert best_site is not None
+        chosen.append(best_site)
+
+    for _ in range(exchange_rounds):  # local exchange
+        improved = False
+        current = mean_rtt_ms(chosen, clients, model)
+        for index in range(len(chosen)):
+            for site in sites:
+                if site in chosen:
+                    continue
+                trial = chosen[:index] + [site] + chosen[index + 1:]
+                score = mean_rtt_ms(trial, clients, model)
+                if score < current - 1e-9:
+                    chosen, current = trial, score
+                    improved = True
+        if not improved:
+            break
+
+    return PlacementResult(chosen, mean_rtt_ms(chosen, clients, model))
+
+
+@dataclass(frozen=True)
+class FleetAssessment:
+    """Observed fleet vs the optimizer's placement at the same k."""
+
+    vca: str
+    observed_mean_rtt_ms: float
+    optimal_mean_rtt_ms: float
+
+    @property
+    def efficiency(self) -> float:
+        """optimal / observed — 1.0 means the fleet is as good as optimal."""
+        if self.observed_mean_rtt_ms <= 0:
+            return 1.0
+        return self.optimal_mean_rtt_ms / self.observed_mean_rtt_ms
+
+
+def assess_fleet(fleet: ServerFleet,
+                 clients: Optional[Sequence[GeoPoint]] = None
+                 ) -> FleetAssessment:
+    """Score one provider's observed placement against the optimum."""
+    clients = list(clients) if clients is not None else all_clients()
+    observed = mean_rtt_ms(
+        [s.location for s in fleet.servers], clients, fleet.path_model
+    )
+    optimal = optimize_placement(
+        len(fleet.servers), clients, fleet.path_model
+    ).mean_rtt_ms
+    return FleetAssessment(fleet.vca, observed, optimal)

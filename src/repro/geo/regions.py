@@ -1,0 +1,88 @@
+"""US region catalog mirroring the paper's vantage points.
+
+The paper (Sec. 4.1) deploys clients in eight locations: two in the Western
+US, three in the Middle US, and three in the Eastern US, and reports Table 1
+for one representative test user per region.  The exact cities are not named
+in the paper; DESIGN.md records the representative choices made here.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.geo.coords import GeoPoint
+
+
+class Region(enum.Enum):
+    """The three US regions used throughout the paper (Table 1 rows)."""
+
+    WEST = "W"
+    MIDDLE = "M"
+    EAST = "E"
+
+    @classmethod
+    def from_code(cls, code: str) -> "Region":
+        """Resolve a one-letter code (``"W"``/``"M"``/``"E"``) to a region."""
+        for region in cls:
+            if region.value == code:
+                return region
+        raise ValueError(f"unknown region code: {code!r}")
+
+
+#: The eight client vantage points: 2 West, 3 Middle, 3 East (Sec. 4.1).
+CITY_CATALOG: Dict[Region, List[GeoPoint]] = {
+    Region.WEST: [
+        GeoPoint("San Jose, CA", 37.3387, -121.8853),
+        GeoPoint("Seattle, WA", 47.6062, -122.3321),
+    ],
+    Region.MIDDLE: [
+        GeoPoint("Dallas, TX", 32.7767, -96.7970),
+        GeoPoint("Chicago, IL", 41.8781, -87.6298),
+        GeoPoint("Kansas City, MO", 39.0997, -94.5786),
+    ],
+    Region.EAST: [
+        GeoPoint("Washington, DC", 38.9072, -77.0369),
+        GeoPoint("New York, NY", 40.7128, -74.0060),
+        GeoPoint("Miami, FL", 25.7617, -80.1918),
+    ],
+}
+
+
+def city(name_prefix: str) -> GeoPoint:
+    """Look up a catalog city by name prefix (case-insensitive).
+
+    >>> city("dallas").name
+    'Dallas, TX'
+    """
+    prefix = name_prefix.lower()
+    for points in CITY_CATALOG.values():
+        for point in points:
+            if point.name.lower().startswith(prefix):
+                return point
+    raise KeyError(f"no catalog city matches {name_prefix!r}")
+
+
+def region_of(point: GeoPoint) -> Region:
+    """Return the region a catalog city belongs to."""
+    for region, points in CITY_CATALOG.items():
+        if point in points:
+            return region
+    raise KeyError(f"{point.name} is not in the catalog")
+
+
+def test_clients() -> Dict[Region, GeoPoint]:
+    """The representative per-region test user of Table 1.
+
+    The paper reports RTTs for three test users located in the Western,
+    Middle, and Eastern US.  We use the first catalog city of each region.
+    """
+    return {region: points[0] for region, points in CITY_CATALOG.items()}
+
+
+def all_clients() -> List[GeoPoint]:
+    """All eight vantage points, W then M then E."""
+    result: List[GeoPoint] = []
+    for region in Region:
+        result.extend(CITY_CATALOG[region])
+    return result

@@ -1,0 +1,199 @@
+"""Per-VCA server fleets and the initiator-nearest selection policy.
+
+Sec. 4.1 of the paper finds that FaceTime, Zoom, Webex, and Teams operate
+four, two, three, and one server(s) in the US respectively, that none of them
+uses anycast, and that every platform assigns the server closest to the user
+who *initiates* the session, regardless of where the other participants are.
+
+The server locations below are representative of the regions the paper
+geolocates the servers to (W / M / E columns of Table 1); see DESIGN.md for
+the residuals this induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import calibration
+from repro.geo.coords import GeoPoint
+from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
+from repro.geo.regions import Region
+
+
+@dataclass(frozen=True)
+class Server:
+    """A relay (SFU) server operated by a VCA provider.
+
+    Attributes:
+        vca: Provider name ("FaceTime", "Zoom", "Webex", "Teams").
+        label: Column label used by Table 1 (e.g. "M1").
+        location: Geographic placement of the server.
+        address: Synthetic IPv4 address, unique per server, used by the
+            network simulator and by the geolocation database.
+    """
+
+    vca: str
+    label: str
+    location: GeoPoint
+    address: str
+
+    @property
+    def region(self) -> Region:
+        """Region code derived from the Table 1 column label."""
+        return Region.from_code(self.label.rstrip("0123456789"))
+
+
+@dataclass
+class ServerFleet:
+    """All US servers of one provider plus the selection policy.
+
+    The default policy is the one the paper reverse-engineers: pick the
+    server nearest to the session initiator.  The ``geo_distributed``
+    alternative (each client attaches to its nearest server, servers are
+    interconnected by a private backbone) implements the remedy the paper
+    proposes, and is exercised by the A2 ablation.
+    """
+
+    vca: str
+    servers: List[Server]
+    path_model: PathModel = field(default_factory=lambda: DEFAULT_PATH_MODEL)
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ValueError("a fleet needs at least one server")
+        labels = [s.label for s in self.servers]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate server labels in {self.vca} fleet: {labels}")
+
+    def by_label(self, label: str) -> Server:
+        """Look up a server by its Table 1 column label."""
+        for server in self.servers:
+            if server.label == label:
+                return server
+        raise KeyError(f"{self.vca} has no server labeled {label!r}")
+
+    def nearest(self, point: GeoPoint) -> Server:
+        """The server geographically nearest to ``point``."""
+        return min(self.servers, key=lambda s: s.location.distance_km(point))
+
+    def select_for_session(self, initiator: GeoPoint,
+                           participants: Sequence[GeoPoint]) -> Server:
+        """Initiator-nearest policy observed by the paper (Sec. 4.1).
+
+        ``participants`` is accepted (and ignored) to make the policy's
+        blind spot explicit: the locations of the other users never
+        influence the choice.
+        """
+        del participants
+        return self.nearest(initiator)
+
+    def geo_distributed_attachments(
+        self, participants: Sequence[GeoPoint]
+    ) -> Dict[GeoPoint, Server]:
+        """Each client attaches to its own nearest server (ablation A2)."""
+        return {p: self.nearest(p) for p in participants}
+
+    def worst_client_rtt_ms(self, initiator: GeoPoint,
+                            participants: Sequence[GeoPoint]) -> float:
+        """Worst client-to-selected-server RTT under the observed policy."""
+        server = self.select_for_session(initiator, participants)
+        return max(
+            self.path_model.base_rtt_ms(p, server.location) for p in participants
+        )
+
+    def worst_pair_rtt_ms(self, initiator: GeoPoint,
+                          participants: Sequence[GeoPoint]) -> float:
+        """Worst client-to-client RTT via the initiator-nearest server.
+
+        Media from ``a`` reaches ``b`` as ``a -> S -> b`` where ``S`` is
+        the single selected relay.
+        """
+        server = self.select_for_session(initiator, participants)
+        worst = 0.0
+        for i, a in enumerate(participants):
+            for b in participants[i + 1:]:
+                rtt = (
+                    self.path_model.base_rtt_ms(a, server.location)
+                    + self.path_model.base_rtt_ms(server.location, b)
+                )
+                worst = max(worst, rtt)
+        return worst
+
+    def worst_pair_rtt_ms_geo_distributed(
+        self,
+        participants: Sequence[GeoPoint],
+        backbone_speedup: float = 1.0,
+    ) -> float:
+        """Worst client-to-client RTT with per-client server attachment.
+
+        Media from ``a`` reaches ``b`` as ``a -> S_a -> S_b -> b``; the
+        inter-server leg runs on a private backbone whose path inflation
+        is divided by ``backbone_speedup`` (>= 1), modeling the
+        "high-speed private network" remedy of Sec. 4.1.
+        """
+        if backbone_speedup < 1.0:
+            raise ValueError("backbone_speedup must be >= 1")
+        attach = self.geo_distributed_attachments(participants)
+        worst = 0.0
+        for i, a in enumerate(participants):
+            for b in participants[i + 1:]:
+                rtt = (
+                    self.path_model.base_rtt_ms(a, attach[a].location)
+                    + self.path_model.propagation_rtt_ms(
+                        attach[a].location, attach[b].location
+                    ) / backbone_speedup
+                    + self.path_model.base_rtt_ms(attach[b].location, b)
+                )
+                worst = max(worst, rtt)
+        return worst
+
+
+def _srv(vca: str, label: str, name: str, lat: float, lon: float,
+         address: str) -> Server:
+    return Server(vca, label, GeoPoint(name, lat, lon), address)
+
+
+#: Representative placements for the servers the paper geolocates (Sec. 4.1).
+_FLEET_SPECS: Dict[str, List[Server]] = {
+    "FaceTime": [
+        _srv("FaceTime", "W", "San Francisco, CA", 37.7749, -122.4194, "17.100.0.1"),
+        _srv("FaceTime", "M1", "Dallas, TX (DFW)", 32.8998, -97.0403, "17.100.0.2"),
+        _srv("FaceTime", "M2", "Chicago, IL", 41.8781, -87.6298, "17.100.0.3"),
+        _srv("FaceTime", "E", "Ashburn, VA", 39.0438, -77.4874, "17.100.0.4"),
+    ],
+    "Zoom": [
+        _srv("Zoom", "W", "Los Angeles, CA", 34.0522, -118.2437, "170.114.0.1"),
+        _srv("Zoom", "E", "Ashburn, VA", 39.0438, -77.4874, "170.114.0.2"),
+    ],
+    "Webex": [
+        _srv("Webex", "W", "San Jose, CA", 37.3387, -121.8853, "66.114.160.1"),
+        _srv("Webex", "M", "Richardson, TX", 32.9483, -96.7299, "66.114.160.2"),
+        _srv("Webex", "E", "Ashburn, VA", 39.0438, -77.4874, "66.114.160.3"),
+    ],
+    "Teams": [
+        _srv("Teams", "W", "Quincy, WA", 47.2343, -119.8526, "52.112.0.1"),
+    ],
+}
+
+VCA_NAMES: Tuple[str, ...] = ("FaceTime", "Zoom", "Webex", "Teams")
+
+
+def build_fleet(vca: str, path_model: Optional[PathModel] = None) -> ServerFleet:
+    """Build the US server fleet of one provider.
+
+    The server counts match Sec. 4.1 (FaceTime 4, Zoom 2, Webex 3, Teams 1).
+    """
+    if vca not in _FLEET_SPECS:
+        raise KeyError(f"unknown VCA: {vca!r} (expected one of {VCA_NAMES})")
+    servers = list(_FLEET_SPECS[vca])
+    expected = calibration.SERVER_COUNTS[vca]
+    if len(servers) != expected:
+        raise AssertionError(
+            f"{vca} fleet has {len(servers)} servers, paper reports {expected}"
+        )
+    return ServerFleet(vca, servers, path_model or DEFAULT_PATH_MODEL)
+
+
+#: Pre-built fleets for all four providers.
+ALL_FLEETS: Dict[str, ServerFleet] = {name: build_fleet(name) for name in VCA_NAMES}

@@ -1,0 +1,57 @@
+"""Semantic-communication substrate: keypoints, motion, codec, reconstruction.
+
+Sec. 4.3 of the paper concludes that FaceTime delivers the spatial persona
+as *semantic information*: Vision Pro's sensors track mouth and eyes, the 74
+keypoints (32 mouth+eye facial points from the dlib-68 layout plus two
+OpenPose 21-point hands) compress under LZMA to 0.64 +/- 0.02 Mbps at
+90 FPS, and the receiver reconstructs the persona mesh from them.
+
+- :mod:`repro.keypoints.schema` — the dlib-68 and OpenPose-21 layouts and
+  the mouth+eyes semantic subset.
+- :mod:`repro.keypoints.motion` — synthetic head/face/hand motion, the
+  stand-in for the ZED 2i RGB-D capture.
+- :mod:`repro.keypoints.codec` — per-frame LZMA keypoint codec.
+- :mod:`repro.keypoints.reconstruct` — template-mesh deformation from
+  received keypoints, failing explicitly when semantics are missing (the
+  mechanism behind the 700 Kbps "poor connection" cutoff).
+"""
+
+from repro.keypoints.schema import (
+    FacialLandmarks,
+    HandLandmarks,
+    SEMANTIC_FACIAL_INDICES,
+    semantic_subset,
+)
+from repro.keypoints.motion import MotionSynthesizer, KeypointFrame
+from repro.keypoints.codec import SemanticCodec, EncodedKeypointFrame
+from repro.keypoints.reconstruct import (
+    PersonaReconstructor,
+    ReconstructionError,
+    check_semantic_frame,
+    frame_is_reconstructible,
+)
+from repro.keypoints.layered import (
+    Layer,
+    LayeredSemanticCodec,
+    LayeredFrame,
+    AdaptiveLayerSelector,
+)
+
+__all__ = [
+    "FacialLandmarks",
+    "HandLandmarks",
+    "SEMANTIC_FACIAL_INDICES",
+    "semantic_subset",
+    "MotionSynthesizer",
+    "KeypointFrame",
+    "SemanticCodec",
+    "EncodedKeypointFrame",
+    "PersonaReconstructor",
+    "ReconstructionError",
+    "check_semantic_frame",
+    "frame_is_reconstructible",
+    "Layer",
+    "LayeredSemanticCodec",
+    "LayeredFrame",
+    "AdaptiveLayerSelector",
+]

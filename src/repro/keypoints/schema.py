@@ -1,0 +1,133 @@
+"""Keypoint layouts: dlib 68-point face, OpenPose 21-point hand.
+
+The paper extracts the widely used 68 facial keypoints from dlib and 21
+hand keypoints from OpenPose, then keeps the 32 mouth+eye facial points the
+Vision Pro sensors actually track, for a total of 32 + 2*21 = 74 semantic
+keypoints per frame (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro import calibration
+
+
+@dataclass(frozen=True)
+class FacialLandmarks:
+    """Index ranges of the dlib 68-point facial landmark layout."""
+
+    JAW: Tuple[int, int] = (0, 17)          # 17 points
+    RIGHT_BROW: Tuple[int, int] = (17, 22)  # 5 points
+    LEFT_BROW: Tuple[int, int] = (22, 27)   # 5 points
+    NOSE: Tuple[int, int] = (27, 36)        # 9 points
+    RIGHT_EYE: Tuple[int, int] = (36, 42)   # 6 points
+    LEFT_EYE: Tuple[int, int] = (42, 48)    # 6 points
+    MOUTH: Tuple[int, int] = (48, 68)       # 20 points
+
+    TOTAL: int = 68
+
+
+@dataclass(frozen=True)
+class HandLandmarks:
+    """The OpenPose 21-point hand layout: wrist + 4 joints per finger."""
+
+    WRIST: int = 0
+    FINGERS: Tuple[str, ...] = ("thumb", "index", "middle", "ring", "pinky")
+    JOINTS_PER_FINGER: int = 4
+
+    TOTAL: int = 21
+
+
+#: Indices (into the 68-point layout) of the mouth+eyes subset the spatial
+#: persona tracks: both 6-point eyes and the 20-point mouth = 32 points.
+SEMANTIC_FACIAL_INDICES = np.concatenate([
+    np.arange(*FacialLandmarks.RIGHT_EYE),
+    np.arange(*FacialLandmarks.LEFT_EYE),
+    np.arange(*FacialLandmarks.MOUTH),
+])
+
+assert len(SEMANTIC_FACIAL_INDICES) == calibration.FACIAL_SEMANTIC_KEYPOINTS
+
+
+def semantic_subset(facial_points: np.ndarray) -> np.ndarray:
+    """Select the 32 mouth+eye points from a (68, 3) facial array."""
+    facial_points = np.asarray(facial_points)
+    if facial_points.shape != (FacialLandmarks.TOTAL, 3):
+        raise ValueError(
+            f"expected (68, 3) facial points, got {facial_points.shape}"
+        )
+    return facial_points[SEMANTIC_FACIAL_INDICES]
+
+
+def _facial_template() -> np.ndarray:
+    """Canonical rest positions of the 68 facial landmarks (meters).
+
+    Head-centric frame: +x out of the face, +y to the subject's left,
+    +z up.  Positions are anatomically plausible, not from any dataset.
+    """
+    points = np.zeros((FacialLandmarks.TOTAL, 3))
+    # Jaw line: an arc from ear to ear through the chin.
+    jaw_angles = np.linspace(-1.25, 1.25, 17)
+    points[0:17, 0] = 0.055 * np.cos(jaw_angles) + 0.01
+    points[0:17, 1] = 0.075 * np.sin(jaw_angles)
+    points[0:17, 2] = -0.055 - 0.025 * np.cos(jaw_angles)
+    # Brows: two arcs above the eyes.
+    for start, side in ((17, -1.0), (22, 1.0)):
+        t = np.linspace(0, 1, 5)
+        points[start:start + 5, 0] = 0.075
+        points[start:start + 5, 1] = side * (0.018 + 0.032 * t)[::int(side) or 1]
+        points[start:start + 5, 2] = 0.035 + 0.008 * np.sin(np.pi * t)
+    # Nose: bridge down then nostril row.
+    points[27:31, 0] = np.linspace(0.078, 0.092, 4)
+    points[27:31, 2] = np.linspace(0.028, -0.005, 4)
+    points[31:36, 0] = 0.082
+    points[31:36, 1] = np.linspace(-0.016, 0.016, 5)
+    points[31:36, 2] = -0.012
+    # Eyes: 6-point rings.
+    for start, side in ((36, -1.0), (42, 1.0)):
+        ring = np.linspace(0, 2 * np.pi, 6, endpoint=False)
+        points[start:start + 6, 0] = 0.072
+        points[start:start + 6, 1] = side * 0.032 + 0.012 * np.cos(ring)
+        points[start:start + 6, 2] = 0.022 + 0.006 * np.sin(ring)
+    # Mouth: outer ring (12) + inner ring (8).
+    outer = np.linspace(0, 2 * np.pi, 12, endpoint=False)
+    points[48:60, 0] = 0.080
+    points[48:60, 1] = 0.026 * np.cos(outer)
+    points[48:60, 2] = -0.030 + 0.012 * np.sin(outer)
+    inner = np.linspace(0, 2 * np.pi, 8, endpoint=False)
+    points[60:68, 0] = 0.079
+    points[60:68, 1] = 0.016 * np.cos(inner)
+    points[60:68, 2] = -0.030 + 0.006 * np.sin(inner)
+    return points
+
+
+def _hand_template(side: float) -> np.ndarray:
+    """Canonical rest positions of one 21-point hand (meters).
+
+    ``side`` is -1 for the right hand, +1 for the left; hands rest about
+    30 cm below and 20 cm lateral of the head origin.
+    """
+    points = np.zeros((HandLandmarks.TOTAL, 3))
+    wrist = np.array([0.25, side * 0.22, -0.35])
+    points[0] = wrist
+    finger_spread = np.linspace(-0.04, 0.04, 5)
+    for f in range(5):
+        base = wrist + np.array([0.07, side * 0.01 + finger_spread[f], 0.02])
+        length = 0.09 if f else 0.06  # thumb shorter
+        for j in range(4):
+            points[1 + f * 4 + j] = base + np.array(
+                [length * (j + 1) / 4.0, 0.0, 0.005 * (j + 1)]
+            )
+    return points
+
+
+#: Rest-pose templates used by the motion synthesizer and reconstructor.
+TEMPLATES: Dict[str, np.ndarray] = {
+    "face": _facial_template(),
+    "left_hand": _hand_template(+1.0),
+    "right_hand": _hand_template(-1.0),
+}

@@ -1,0 +1,44 @@
+"""Triangle-mesh substrate.
+
+The spatial persona is a 3D mesh of 78,030 triangles (Sec. 4.3), and the
+paper's "direct 3D streaming" experiment compresses 70-90K-triangle human
+heads with Draco and streams them at 90 FPS.  This package provides:
+
+- :mod:`repro.mesh.model` — the :class:`TriangleMesh` container.
+- :mod:`repro.mesh.generate` — parametric head/hand meshes with *exact*
+  triangle counts (substituting for Sketchfab downloads and the TrueDepth
+  persona enrollment).
+- :mod:`repro.mesh.simplify` — vertex-clustering decimation for LOD levels.
+- :mod:`repro.mesh.codec` — a Draco-like compressor (quantization + delta +
+  LZMA entropy stage) with bitrates in the published range.
+"""
+
+from repro.mesh.model import TriangleMesh
+from repro.mesh.generate import head_mesh, persona_mesh, sketchfab_head_set
+from repro.mesh.simplify import decimate, decimate_to_target
+from repro.mesh.codec import DracoLikeCodec, EncodedMesh
+from repro.mesh.texture import TextureAtlas, TextureCodec, skin_texture, textured_streaming_mbps
+from repro.mesh.io import save_obj, load_obj, save_ply, load_ply
+from repro.mesh.metrics import surface_distance, quality_fraction, sample_surface
+
+__all__ = [
+    "TriangleMesh",
+    "head_mesh",
+    "persona_mesh",
+    "sketchfab_head_set",
+    "decimate",
+    "decimate_to_target",
+    "DracoLikeCodec",
+    "EncodedMesh",
+    "TextureAtlas",
+    "TextureCodec",
+    "skin_texture",
+    "textured_streaming_mbps",
+    "save_obj",
+    "load_obj",
+    "save_ply",
+    "load_ply",
+    "surface_distance",
+    "quality_fraction",
+    "sample_surface",
+]

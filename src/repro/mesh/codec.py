@@ -1,0 +1,160 @@
+"""Draco-like mesh compression.
+
+Stand-in for Google Draco in the Sec. 4.3 "direct 3D data streaming"
+experiment.  The pipeline mirrors Draco's structure:
+
+1. positions quantized to ``quantization_bits`` over the bounding box
+   (Draco's default is 11 bits),
+2. delta + zigzag prediction along the vertex order,
+3. connectivity delta-encoded over the face list, and
+4. an LZMA entropy stage.
+
+The codec is lossless in topology and lossy only through quantization; the
+decoder reconstructs positions to within one quantization step.
+"""
+
+from __future__ import annotations
+
+import lzma
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.model import TriangleMesh
+
+_MAGIC = b"DRCL"
+_LZMA_FILTERS = [{"id": lzma.FILTER_LZMA2, "preset": 1}]
+
+
+def _zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed deltas to unsigned ints (small magnitudes stay small)."""
+    return ((values << 1) ^ (values >> 63)).astype(np.uint64)
+
+
+def _unzigzag(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_zigzag`."""
+    signed = values.astype(np.int64)
+    return (signed >> 1) ^ -(signed & 1)
+
+
+def _pack_uint(values: np.ndarray) -> bytes:
+    """Width-adaptive packing: 16-bit when possible, else 32-bit."""
+    if len(values) == 0:
+        return b"\x02"
+    if values.max() < 2**16:
+        return b"\x02" + values.astype("<u2").tobytes()
+    if values.max() < 2**32:
+        return b"\x04" + values.astype("<u4").tobytes()
+    return b"\x08" + values.astype("<u8").tobytes()
+
+
+def _unpack_uint(blob: bytes, count: int) -> np.ndarray:
+    width = blob[0]
+    dtype = {2: "<u2", 4: "<u4", 8: "<u8"}[width]
+    return np.frombuffer(blob[1:1 + count * width], dtype=dtype).astype(np.uint64)
+
+
+def _compress(data: bytes) -> bytes:
+    return lzma.compress(data, format=lzma.FORMAT_RAW, filters=_LZMA_FILTERS)
+
+
+def _decompress(data: bytes) -> bytes:
+    return lzma.decompress(data, format=lzma.FORMAT_RAW, filters=_LZMA_FILTERS)
+
+
+@dataclass(frozen=True)
+class EncodedMesh:
+    """A compressed mesh frame."""
+
+    payload: bytes
+
+    @property
+    def byte_size(self) -> int:
+        """Compressed size in bytes."""
+        return len(self.payload)
+
+    def bitrate_mbps(self, fps: float) -> float:
+        """Bandwidth needed to stream one such frame per tick at ``fps``."""
+        return self.byte_size * 8.0 * fps / 1e6
+
+
+class DracoLikeCodec:
+    """Quantize + predict + entropy-code triangle meshes."""
+
+    def __init__(self, quantization_bits: int = 11) -> None:
+        if not 4 <= quantization_bits <= 24:
+            raise ValueError(
+                f"quantization_bits must be in [4, 24], got {quantization_bits}"
+            )
+        self.quantization_bits = quantization_bits
+
+    def encode(self, mesh: TriangleMesh) -> EncodedMesh:
+        """Compress ``mesh`` into a self-contained frame."""
+        lo, hi = mesh.bounding_box()
+        extent = np.maximum(hi - lo, 1e-12)
+        levels = (1 << self.quantization_bits) - 1
+        quantized = np.round((mesh.vertices - lo) / extent * levels).astype(np.int64)
+
+        deltas = np.diff(quantized, axis=0, prepend=quantized[:1] * 0)
+        position_blob = _pack_uint(_zigzag(deltas.reshape(-1)))
+
+        flat_faces = mesh.faces.astype(np.int64).reshape(-1)
+        face_deltas = np.diff(flat_faces, prepend=0)
+        face_blob = _pack_uint(_zigzag(face_deltas))
+
+        header = _MAGIC + struct.pack(
+            "<BII6d",
+            self.quantization_bits,
+            mesh.vertex_count,
+            mesh.triangle_count,
+            *lo,
+            *hi,
+        )
+        body_positions = _compress(position_blob)
+        body_faces = _compress(face_blob)
+        payload = (
+            header
+            + struct.pack("<II", len(body_positions), len(body_faces))
+            + body_positions
+            + body_faces
+        )
+        return EncodedMesh(payload)
+
+    def decode(self, encoded: EncodedMesh) -> TriangleMesh:
+        """Reconstruct the mesh from a frame produced by :meth:`encode`.
+
+        Raises:
+            ValueError: If the payload is not a frame of this codec.
+        """
+        payload = encoded.payload
+        if payload[:4] != _MAGIC:
+            raise ValueError("not a DracoLike frame")
+        header_size = 4 + struct.calcsize("<BII6d")
+        qbits, n_vertices, n_faces, *bbox = struct.unpack(
+            "<BII6d", payload[4:header_size]
+        )
+        lo = np.asarray(bbox[:3])
+        hi = np.asarray(bbox[3:])
+        len_pos, len_faces = struct.unpack(
+            "<II", payload[header_size:header_size + 8]
+        )
+        offset = header_size + 8
+        position_blob = _decompress(payload[offset:offset + len_pos])
+        face_blob = _decompress(payload[offset + len_pos:offset + len_pos + len_faces])
+
+        deltas = _unzigzag(_unpack_uint(position_blob, n_vertices * 3))
+        quantized = np.cumsum(deltas.reshape(n_vertices, 3), axis=0)
+        levels = (1 << qbits) - 1
+        extent = np.maximum(hi - lo, 1e-12)
+        vertices = quantized / levels * extent + lo
+
+        face_deltas = _unzigzag(_unpack_uint(face_blob, n_faces * 3))
+        faces = np.cumsum(face_deltas).reshape(n_faces, 3).astype(np.int32)
+        return TriangleMesh(vertices, faces, name="decoded")
+
+    def max_position_error(self, mesh: TriangleMesh) -> float:
+        """Upper bound on per-axis reconstruction error (half a quantum)."""
+        lo, hi = mesh.bounding_box()
+        extent = float(np.max(hi - lo))
+        return extent / ((1 << self.quantization_bits) - 1)

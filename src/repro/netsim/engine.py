@@ -1,0 +1,100 @@
+"""Deterministic discrete-event scheduler.
+
+The simulator is a plain priority queue of timestamped callbacks.  Ties are
+broken by insertion order, which makes runs fully deterministic for a given
+seed and schedule — a property the test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """Event loop with a simulated clock measured in seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._counter = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` ``delay`` seconds from now.
+
+        Raises:
+            ValueError: If ``delay`` is negative — the past is immutable.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time:.6f}, clock already at {self._now:.6f}"
+            )
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        *,
+        start: float = 0.0,
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``callback`` periodically from ``start`` until ``until``.
+
+        The callback fires at start, start+interval, ... strictly before
+        ``until`` (when given).
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        base = max(start, self._now)
+
+        def fire(tick: int) -> None:
+            callback()
+            # Tick times are computed multiplicatively from the base so
+            # floating-point drift cannot accumulate an extra firing.
+            next_time = base + (tick + 1) * interval
+            if until is None or next_time < until - 1e-12:
+                self.schedule_at(next_time, lambda: fire(tick + 1))
+
+        if until is None or base < until - 1e-12:
+            self.schedule_at(base, lambda: fire(0))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in timestamp order.
+
+        Args:
+            until: Stop once the clock would pass this time; remaining
+                events stay queued.  When None, drain the queue completely.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, callback = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,100 @@
+"""Point-of-attachment link model: rate, queue, drop-tail.
+
+A :class:`Link` models one transmission resource (an access uplink, a WiFi
+radio, a server NIC).  Serialization occupies the link for
+``wire_bytes * 8 / rate`` seconds; packets arriving while the link is busy
+queue behind it, and the queue is drop-tail bounded in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+
+
+@dataclass
+class LinkStats:
+    """Counters a link accumulates over its lifetime."""
+
+    packets_sent: int = 0
+    packets_dropped: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        offered = self.packets_sent + self.packets_dropped
+        return self.packets_dropped / offered if offered else 0.0
+
+
+class Link:
+    """A transmission resource with finite rate and a drop-tail queue."""
+
+    def __init__(
+        self,
+        rate_bps: float,
+        queue_bytes: int = 256 * 1024,
+        name: str = "link",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if queue_bytes <= 0:
+            raise ValueError(f"queue must be positive, got {queue_bytes}")
+        self.rate_bps = rate_bps
+        self.queue_bytes = queue_bytes
+        self.name = name
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+        self._queued_bytes = 0
+
+    def serialization_delay(self, packet: Packet) -> float:
+        """Seconds needed to clock the packet onto the wire."""
+        return packet.wire_bytes * 8.0 / self.rate_bps
+
+    def backlog_bytes(self, now: float) -> int:
+        """Bytes currently waiting (approximation from busy horizon)."""
+        if self._busy_until <= now:
+            return 0
+        return int((self._busy_until - now) * self.rate_bps / 8.0)
+
+    def transmit(
+        self,
+        sim: Simulator,
+        packet: Packet,
+        on_transmitted: Callable[[Packet], None],
+        extra_delay: float = 0.0,
+    ) -> bool:
+        """Enqueue ``packet``; invoke ``on_transmitted`` when it leaves.
+
+        Args:
+            sim: The event scheduler (provides the clock).
+            packet: The datagram to send.
+            on_transmitted: Called at the instant the last bit leaves the
+                link (propagation is added by the caller).
+            extra_delay: Additional fixed latency (e.g. a shaper's netem
+                delay) applied after serialization.
+
+        Returns:
+            False when the drop-tail queue rejected the packet.
+        """
+        now = sim.now
+        if self.backlog_bytes(now) + packet.wire_bytes > self.queue_bytes:
+            self.stats.packets_dropped += 1
+            return False
+        start = max(now, self._busy_until)
+        done = start + self.serialization_delay(packet)
+        self._busy_until = done
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.wire_bytes
+        sim.schedule_at(done + extra_delay, lambda: on_transmitted(packet))
+        return True
+
+    def utilization(self, now: float) -> float:
+        """Fraction of time the link has spent busy so far (approximate)."""
+        if now <= 0:
+            return 0.0
+        busy = self.stats.bytes_sent * 8.0 / self.rate_bps
+        return min(1.0, busy / now)

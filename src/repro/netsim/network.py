@@ -1,0 +1,172 @@
+"""The network fabric: hosts, APs, shapers, and the wide-area core.
+
+Packets traverse, in order:
+
+1. the sender's uplink shaper (if installed — this is where ``tc`` lives),
+2. the sender's AP uplink (serialization + queueing),
+3. the wide-area core, modeled as the one-way delay of the geographic
+   :class:`~repro.geo.latency.PathModel` between the two hosts,
+4. the receiver's downlink shaper (if installed),
+5. the receiver's AP downlink, then delivery to the host.
+
+Captures observe uplink packets as they clear the sender's AP and downlink
+packets as they arrive at the receiver's AP — the same vantage Wireshark has
+in the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
+from repro.netsim.capture import PacketCapture
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.netsim.shaper import TrafficShaper
+from repro.netsim.wifi import WiFiAccessPoint
+
+
+@dataclass
+class _Attachment:
+    """Everything the network knows about one attached host."""
+
+    host: Host
+    ap: WiFiAccessPoint
+    uplink_shaper: Optional[TrafficShaper] = None
+    downlink_shaper: Optional[TrafficShaper] = None
+    capture: Optional[PacketCapture] = None
+
+
+@dataclass
+class NetworkStats:
+    """Fabric-wide counters."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+
+
+class Network:
+    """Wires hosts together over a geographic wide-area core."""
+
+    def __init__(self, sim: Simulator, path_model: Optional[PathModel] = None) -> None:
+        self.sim = sim
+        self.path_model = path_model or DEFAULT_PATH_MODEL
+        self.stats = NetworkStats()
+        self._attachments: Dict[str, _Attachment] = {}
+
+    def attach(
+        self,
+        host: Host,
+        ap: Optional[WiFiAccessPoint] = None,
+        uplink_shaper: Optional[TrafficShaper] = None,
+        downlink_shaper: Optional[TrafficShaper] = None,
+    ) -> _Attachment:
+        """Join ``host`` to the fabric behind ``ap`` (a fresh AP by default)."""
+        if host.address in self._attachments:
+            raise ValueError(f"address {host.address} already attached")
+        attachment = _Attachment(
+            host=host,
+            ap=ap or WiFiAccessPoint(name=f"ap-{host.name}"),
+            uplink_shaper=uplink_shaper,
+            downlink_shaper=downlink_shaper,
+        )
+        self._attachments[host.address] = attachment
+        host.attach(self)
+        return attachment
+
+    def host(self, address: str) -> Host:
+        """Look up an attached host by address."""
+        return self._attachments[address].host
+
+    def ap_of(self, address: str) -> WiFiAccessPoint:
+        """The access point a host sits behind (for congestion feedback)."""
+        return self._attachments[address].ap
+
+    def set_uplink_shaper(self, address: str, shaper: Optional[TrafficShaper]) -> None:
+        """Install (or remove) a ``tc`` shaper on a host's uplink."""
+        self._attachments[address].uplink_shaper = shaper
+
+    def set_downlink_shaper(self, address: str, shaper: Optional[TrafficShaper]) -> None:
+        """Install (or remove) a ``tc`` shaper on a host's downlink."""
+        self._attachments[address].downlink_shaper = shaper
+
+    def start_capture(self, address: str) -> PacketCapture:
+        """Start a Wireshark-style capture at the host's AP."""
+        attachment = self._attachments[address]
+        attachment.capture = attachment.ap.start_capture(address)
+        return attachment.capture
+
+    def one_way_delay_s(self, src_address: str, dst_address: str) -> float:
+        """Core one-way delay between two attached hosts, in seconds."""
+        src = self._attachments[src_address].host
+        dst = self._attachments[dst_address].host
+        return self.path_model.one_way_ms(src.location, dst.location) / 1000.0
+
+    # ------------------------------------------------------------------
+    # The forwarding path
+    # ------------------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a packet at its source host's uplink."""
+        sender = self._attachments.get(packet.src)
+        receiver = self._attachments.get(packet.dst)
+        if sender is None:
+            raise KeyError(f"unknown source address {packet.src}")
+        if receiver is None:
+            raise KeyError(f"unknown destination address {packet.dst}")
+        packet.created_at = self.sim.now
+        self.stats.packets_sent += 1
+
+        if sender.uplink_shaper is not None:
+            accepted = sender.uplink_shaper.process(
+                self.sim, packet, lambda p: self._enter_ap_uplink(sender, receiver, p)
+            )
+        else:
+            accepted = True
+            self._enter_ap_uplink(sender, receiver, packet)
+        if not accepted:
+            self.stats.packets_dropped += 1
+        return accepted
+
+    def _enter_ap_uplink(self, sender: _Attachment, receiver: _Attachment,
+                         packet: Packet) -> None:
+        accepted = sender.ap.uplink.transmit(
+            self.sim, packet, lambda p: self._cross_core(sender, receiver, p)
+        )
+        if not accepted:
+            self.stats.packets_dropped += 1
+
+    def _cross_core(self, sender: _Attachment, receiver: _Attachment,
+                    packet: Packet) -> None:
+        if sender.capture is not None:
+            sender.capture.observe(self.sim.now, packet)
+        delay = self.path_model.one_way_ms(
+            sender.host.location, receiver.host.location
+        ) / 1000.0
+        self.sim.schedule(delay, lambda: self._arrive_at_receiver(receiver, packet))
+
+    def _arrive_at_receiver(self, receiver: _Attachment, packet: Packet) -> None:
+        if receiver.capture is not None:
+            receiver.capture.observe(self.sim.now, packet)
+        if receiver.downlink_shaper is not None:
+            accepted = receiver.downlink_shaper.process(
+                self.sim, packet, lambda p: self._enter_ap_downlink(receiver, p)
+            )
+            if not accepted:
+                self.stats.packets_dropped += 1
+        else:
+            self._enter_ap_downlink(receiver, packet)
+
+    def _enter_ap_downlink(self, receiver: _Attachment, packet: Packet) -> None:
+        accepted = receiver.ap.downlink.transmit(
+            self.sim, packet, lambda p: self._deliver(receiver, p)
+        )
+        if not accepted:
+            self.stats.packets_dropped += 1
+
+    def _deliver(self, receiver: _Attachment, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        receiver.host.deliver(packet)

@@ -1,0 +1,75 @@
+"""Hosts: addressable endpoints with port bindings.
+
+A :class:`Host` is anything with an IP address in the simulated testbed — a
+Vision Pro, a MacBook, or a VCA relay server.  Hosts bind handlers to UDP/TCP
+ports; unbound traffic lands in a default inbox so tests can always assert on
+what arrived.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.geo.coords import GeoPoint
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.network import Network
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Host:
+    """An addressable endpoint attached to the simulated network."""
+
+    def __init__(self, address: str, location: GeoPoint, name: Optional[str] = None) -> None:
+        self.address = address
+        self.location = location
+        self.name = name or address
+        self._handlers: Dict[int, PacketHandler] = {}
+        self.inbox: List[Packet] = []
+        self._network: Optional["Network"] = None
+
+    def attach(self, network: "Network") -> None:
+        """Called by the network when the host joins it."""
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        """The network this host is attached to.
+
+        Raises:
+            RuntimeError: If the host was never attached.
+        """
+        if self._network is None:
+            raise RuntimeError(f"host {self.name} is not attached to a network")
+        return self._network
+
+    def bind(self, port: int, handler: PacketHandler) -> None:
+        """Register ``handler`` for packets destined to ``port``."""
+        if port in self._handlers:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._handlers[port] = handler
+
+    def unbind(self, port: int) -> None:
+        """Remove the handler for ``port`` (no-op if absent)."""
+        self._handlers.pop(port, None)
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet``; returns False if dropped on the way out."""
+        if packet.src != self.address:
+            raise ValueError(
+                f"{self.name} cannot send a packet with src {packet.src}"
+            )
+        return self.network.send(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Hand an arriving packet to its port handler (or the inbox)."""
+        handler = self._handlers.get(packet.dst_port)
+        if handler is not None:
+            handler(packet)
+        else:
+            self.inbox.append(packet)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name}@{self.address})"

@@ -1,0 +1,44 @@
+"""Rendering pipeline model: camera, gaze, LOD, frame costs, display.
+
+Replaces the Xcode/RealityKit profiling surface of the paper with a
+calibrated model exposing the same counters — rendered triangles, CPU ms,
+GPU ms per frame — and the same visibility-aware optimizations the paper
+dissects in Sec. 4.4:
+
+- viewport adaptation (36-triangle proxy outside the view frustum),
+- foveated rendering (reduced mesh + reduced shading rate in the periphery),
+- distance-aware LOD (reduced mesh beyond 3 m), and
+- occlusion-aware rendering (implemented, but *disabled* in the FaceTime
+  profile because the paper finds it is not adopted).
+"""
+
+from repro.rendering.camera import Camera, head_coverage
+from repro.rendering.gaze import AttentionModel
+from repro.rendering.lod import LodPolicy, LodDecision, VisibilityState, PersonaView
+from repro.rendering.cost import GpuCostModel, CpuCostModel, FRAME_COST_FIT
+from repro.rendering.pipeline import RenderPipeline, FrameStats
+from repro.rendering.framerate import FrameRateReport, analyze_frame_rate, vsync_slots
+from repro.rendering.display import (
+    DisplayLatencyModel,
+    ContentDeliveryMode,
+)
+
+__all__ = [
+    "Camera",
+    "head_coverage",
+    "AttentionModel",
+    "LodPolicy",
+    "LodDecision",
+    "VisibilityState",
+    "PersonaView",
+    "GpuCostModel",
+    "CpuCostModel",
+    "FRAME_COST_FIT",
+    "RenderPipeline",
+    "FrameStats",
+    "DisplayLatencyModel",
+    "ContentDeliveryMode",
+    "FrameRateReport",
+    "analyze_frame_rate",
+    "vsync_slots",
+]

@@ -1,0 +1,167 @@
+"""Level-of-detail policy: the visibility-aware optimizations of Sec. 4.4.
+
+The paper observes four *discrete* persona quality tiers on Vision Pro,
+identified by their rendered triangle counts:
+
+====================  =========  =======================================
+State                 Triangles  Trigger observed by the paper
+====================  =========  =======================================
+FULL                  78,030     in viewport, foveal, within 3 m
+DISTANT               45,036     in viewport, foveal, beyond 3 m
+PERIPHERAL            21,036     in viewport, outside the foveal region
+CULLED                36         outside the viewport
+====================  =========  =======================================
+
+Occlusion-aware rendering is implemented here as well but defaults to off,
+matching the paper's finding that FaceTime does not adopt it; the A3
+ablation turns it on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import calibration
+from repro.rendering.camera import Camera, head_coverage
+
+
+class VisibilityState(enum.Enum):
+    """Which quality tier a persona is rendered at."""
+
+    FULL = "full"
+    DISTANT = "distant"
+    PERIPHERAL = "peripheral"
+    CULLED = "culled"
+    OCCLUDED = "occluded"
+
+
+#: Triangles rendered per tier (calibration constants from Sec. 4.4).
+TIER_TRIANGLES = {
+    VisibilityState.FULL: calibration.PERSONA_TRIANGLES,
+    VisibilityState.DISTANT: calibration.DISTANCE_TRIANGLES,
+    VisibilityState.PERIPHERAL: calibration.FOVEATED_TRIANGLES,
+    VisibilityState.CULLED: calibration.VIEWPORT_CULLED_TRIANGLES,
+    VisibilityState.OCCLUDED: 0,
+}
+
+#: Eccentricity (degrees from the gaze direction) beyond which a persona
+#: counts as peripheral.  The foveal region of the human visual system spans
+#: only a few degrees; renderers use a wider high-quality zone.
+FOVEAL_ECCENTRICITY_DEG = 25.0
+
+#: Angular radius of a head used by the occlusion test, degrees-per-meter
+#: of distance (a 0.11 m head at 1 m subtends ~6.3 degrees).
+HEAD_ANGULAR_RADIUS_DEG_AT_1M = 6.3
+
+
+@dataclass
+class PersonaView:
+    """One remote persona as seen by the local viewer this frame.
+
+    Attributes:
+        persona_id: Stable identifier (the remote participant).
+        position: World-space position of the persona's head.
+        gaze_eccentricity_deg: Angle between the viewer's gaze direction
+            and the persona, degrees.
+    """
+
+    persona_id: str
+    position: np.ndarray
+    gaze_eccentricity_deg: float
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class LodDecision:
+    """The policy's output for one persona in one frame."""
+
+    persona_id: str
+    state: VisibilityState
+    triangles: int
+    coverage: float
+    foveated_shading: bool
+
+    @property
+    def rendered(self) -> bool:
+        """Whether any geometry is submitted for this persona."""
+        return self.state is not VisibilityState.OCCLUDED
+
+
+@dataclass
+class LodPolicy:
+    """Configurable visibility-aware optimization stack.
+
+    Defaults mirror what the paper finds FaceTime ships: viewport
+    adaptation, foveated rendering, and distance-aware LOD on; occlusion
+    culling off.
+    """
+
+    viewport_adaptation: bool = True
+    foveated_rendering: bool = True
+    distance_aware: bool = True
+    occlusion_aware: bool = False
+    distance_threshold_m: float = calibration.DISTANCE_LOD_THRESHOLD_M
+    foveal_eccentricity_deg: float = FOVEAL_ECCENTRICITY_DEG
+
+    def decide(self, camera: Camera,
+               personas: Sequence[PersonaView]) -> List[LodDecision]:
+        """Classify every persona and pick its quality tier."""
+        occluded_ids = (
+            self._occluded_ids(camera, personas) if self.occlusion_aware else set()
+        )
+        decisions = []
+        for view in personas:
+            decisions.append(self._decide_one(camera, view, view.persona_id in occluded_ids))
+        return decisions
+
+    def _decide_one(self, camera: Camera, view: PersonaView,
+                    occluded: bool) -> LodDecision:
+        distance = camera.distance_to(view.position)
+        coverage = head_coverage(distance)
+        if occluded:
+            return LodDecision(view.persona_id, VisibilityState.OCCLUDED,
+                               TIER_TRIANGLES[VisibilityState.OCCLUDED],
+                               0.0, False)
+        if self.viewport_adaptation and not camera.in_viewport(view.position):
+            return LodDecision(view.persona_id, VisibilityState.CULLED,
+                               TIER_TRIANGLES[VisibilityState.CULLED],
+                               0.0, False)
+        if (self.foveated_rendering
+                and view.gaze_eccentricity_deg > self.foveal_eccentricity_deg):
+            return LodDecision(view.persona_id, VisibilityState.PERIPHERAL,
+                               TIER_TRIANGLES[VisibilityState.PERIPHERAL],
+                               coverage, True)
+        if self.distance_aware and distance > self.distance_threshold_m:
+            return LodDecision(view.persona_id, VisibilityState.DISTANT,
+                               TIER_TRIANGLES[VisibilityState.DISTANT],
+                               coverage, False)
+        return LodDecision(view.persona_id, VisibilityState.FULL,
+                           TIER_TRIANGLES[VisibilityState.FULL],
+                           coverage, False)
+
+    def _occluded_ids(self, camera: Camera,
+                      personas: Sequence[PersonaView]) -> set:
+        """Personas fully hidden behind a nearer persona (angular test)."""
+        occluded = set()
+        ordered = sorted(personas, key=lambda v: camera.distance_to(v.position))
+        for i, far in enumerate(ordered):
+            far_dist = camera.distance_to(far.position)
+            far_dir = camera.direction_to(far.position)
+            for near in ordered[:i]:
+                near_dist = camera.distance_to(near.position)
+                near_dir = camera.direction_to(near.position)
+                angle = np.degrees(
+                    np.arccos(np.clip(np.dot(far_dir, near_dir), -1.0, 1.0))
+                )
+                near_radius = HEAD_ANGULAR_RADIUS_DEG_AT_1M / near_dist
+                far_radius = HEAD_ANGULAR_RADIUS_DEG_AT_1M / far_dist
+                if angle + far_radius <= near_radius:
+                    occluded.add(far.persona_id)
+                    break
+        return occluded

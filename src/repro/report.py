@@ -1,0 +1,206 @@
+"""Markdown report generation for the full reproduction.
+
+Produces the paper-vs-measured record (the same content as EXPERIMENTS.md)
+programmatically, so a user who changes a model can regenerate the whole
+comparison with one call or ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro import calibration
+from repro.experiments import (
+    ablations,
+    content_delivery,
+    fig4,
+    fig5,
+    fig6,
+    protocols,
+    rate_adaptation,
+    table1,
+)
+
+
+@dataclass(frozen=True)
+class ReportSettings:
+    """Knobs trading fidelity for runtime."""
+
+    duration_s: float = 30.0
+    repeats: int = calibration.MIN_REPEATS
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "ReportSettings":
+        """Short smoke-run settings."""
+        return cls(duration_s=8.0, repeats=2)
+
+
+def _section(title: str, body: List[str]) -> str:
+    return "\n".join([f"## {title}", ""] + body + [""])
+
+
+def table1_section(settings: ReportSettings) -> str:
+    """Table 1 markdown section."""
+    result = table1.run(repeats=settings.repeats, seed=settings.seed)
+    errors = [abs(m - p) for _, _, m, p in result.paper_comparison()]
+    header = "| Users | " + " | ".join(
+        f"{vca[:2]}-{label}" for vca, label in calibration.TABLE1_COLUMNS
+    ) + " |"
+    divider = "|" + "---|" * 11
+    rows = [header, divider]
+    for region in ("W", "M", "E"):
+        cells = " | ".join(f"{v:.1f}" for v in result.row(region))
+        rows.append(f"| {region} | {cells} |")
+    rows.append("")
+    rows.append(
+        f"Mean |error| vs paper **{np.mean(errors):.1f} ms** "
+        f"(worst {max(errors):.1f} ms); max cell std "
+        f"{result.max_std_ms():.1f} ms (paper bound < 7 ms)."
+    )
+    return _section("Table 1 — server RTT matrix (ms)", rows)
+
+
+def protocols_section(settings: ReportSettings) -> str:
+    """Sec. 4.1 markdown section."""
+    rows = ["| VCA | devices | protocol | P2P |", "|---|---|---|---|"]
+    for obs in protocols.run_protocol_matrix(seed=settings.seed):
+        rows.append(
+            f"| {obs.vca} | {obs.device_mix} | {obs.observed_protocol} "
+            f"| {obs.p2p} |"
+        )
+    rows.append("")
+    rows.append(
+        f"- RTP fallback keeps the 2D-call payload types: "
+        f"**{protocols.facetime_fallback_keeps_2d_payload_type(settings.seed)}**"
+    )
+    verdicts = protocols.run_anycast_check(seed=settings.seed)
+    rows.append(f"- Anycast verdicts: {verdicts} (paper: all unicast)")
+    return _section("Sec. 4.1 — protocols, P2P, anycast", rows)
+
+
+def fig4_section(settings: ReportSettings) -> str:
+    """Fig. 4 markdown section."""
+    result = fig4.run(duration_s=settings.duration_s,
+                      repeats=settings.repeats, seed=settings.seed)
+    rows = ["| cfg | measured mean | paper |", "|---|---|---|"]
+    for label in fig4.CONFIGURATIONS:
+        rows.append(
+            f"| {label} | {result.summaries[label].mean:.2f} Mbps "
+            f"| ~{fig4.PAPER_MEANS_MBPS[label]} Mbps |"
+        )
+    rows.append("")
+    rows.append(f"Ordering F < Z < F* < T < W holds: **{result.ordering_holds()}**")
+    return _section("Fig. 4 — two-party uplink throughput", rows)
+
+
+def content_section(settings: ReportSettings) -> str:
+    """Sec. 4.3 content-analysis markdown section."""
+    mesh = content_delivery.run_mesh_streaming(seed=settings.seed)
+    keypoints = content_delivery.run_keypoint_streaming(seed=settings.seed)
+    latency = content_delivery.run_display_latency(seed=settings.seed)
+    rows = [
+        f"- Draco mesh streaming: **{mesh.summary.mean:.1f} ± "
+        f"{mesh.summary.std:.1f} Mbps** (paper 107.4 ± 14.1) — ruled out.",
+        f"- Keypoints + LZMA: **{keypoints.mbps.mean:.3f} ± "
+        f"{keypoints.mbps.std:.3f} Mbps** (paper 0.64 ± 0.02) — consistent.",
+        f"- Display-latency diff invariant under 0-1000 ms injected delay: "
+        f"**{latency.local_mode_invariant()}** (paper: < 16 ms).",
+    ]
+    return _section("Sec. 4.3 — what is being delivered?", rows)
+
+
+def rate_section(settings: ReportSettings) -> str:
+    """Rate-adaptation markdown section."""
+    result = rate_adaptation.run(duration_s=settings.duration_s,
+                                 seed=settings.seed)
+    rows = ["```", result.format_table(), "```", ""]
+    rows.append(
+        f"Cutoff **{result.cutoff_kbps():.0f} Kbps** (paper: 700); "
+        f"no rate adaptation: **{result.no_rate_adaptation()}**."
+    )
+    return _section("Sec. 4.3 — rate adaptation", rows)
+
+
+def fig5_section(settings: ReportSettings) -> str:
+    """Fig. 5 markdown section."""
+    result = fig5.run(seed=settings.seed)
+    rows = ["| scenario | triangles | GPU ms | paper |", "|---|---|---|---|"]
+    for name, (tri, gpu) in fig5.PAPER_ANCHORS.items():
+        s = result.gpu_ms[name]
+        rows.append(
+            f"| {name} | {result.triangles[name]:,} | "
+            f"{s.mean:.2f} ± {s.std:.2f} | {tri:,} / {gpu:.2f} |"
+        )
+    occ = fig5.run_occlusion(occlusion_aware=False)
+    rows.append("")
+    rows.append(
+        f"Occlusion optimization adopted: **{occ.optimization_adopted()}** "
+        f"(paper: not adopted)."
+    )
+    return _section("Fig. 5 — visibility-aware optimizations", rows)
+
+
+def fig6_section(settings: ReportSettings) -> str:
+    """Fig. 6 markdown section."""
+    rendering = fig6.run_rendering(duration_s=settings.duration_s,
+                                   repeats=settings.repeats,
+                                   seed=settings.seed)
+    network = fig6.run_network(duration_s=settings.duration_s / 2,
+                               repeats=settings.repeats, seed=settings.seed)
+    rows = ["```", rendering.format_table(), "", network.format_table(), "```",
+            ""]
+    rows.append(
+        f"GPU p95 at five users > 9 ms: "
+        f"**{rendering.gpu_approaches_deadline()}**; downlink linear: "
+        f"**{network.grows_linearly()}**."
+    )
+    return _section("Fig. 6 — scalability", rows)
+
+
+def ablations_section(settings: ReportSettings) -> str:
+    """Ablations markdown section."""
+    a1 = ablations.run_delivery_culling(duration_s=settings.duration_s,
+                                        seed=settings.seed)
+    rows = [
+        f"- **A1** delivery-side culling: {a1.baseline_mbps:.2f} → "
+        f"{a1.culled_mbps:.2f} Mbps ({a1.savings_fraction:.0%} saved).",
+    ]
+    for a2 in ablations.run_server_policies():
+        rows.append(
+            f"- **A2** {a2.scenario}: {a2.initiator_nearest_ms:.0f} → "
+            f"{a2.geo_distributed_ms:.0f} ms "
+            f"({a2.improvement_fraction:.0%} better)."
+        )
+    a3 = fig5.run_occlusion(occlusion_aware=True)
+    rows.append(
+        f"- **A3** occlusion-aware rendering: {a3.spread_triangles:,} → "
+        f"{a3.line_triangles:,} triangles."
+    )
+    a4 = ablations.run_layered_codec(duration_s=settings.duration_s / 2,
+                                     seed=settings.seed)
+    rows.append(
+        f"- **A4** layered semantic codec: available down to "
+        f"{a4.cutoff_kbps():.0f} Kbps (FaceTime: 700 Kbps cliff)."
+    )
+    return _section("Ablations", rows)
+
+
+def generate_report(settings: ReportSettings = ReportSettings()) -> str:
+    """The full markdown report."""
+    sections = [
+        "# Reproduction report — Immersive Telepresence on Apple Vision Pro",
+        "",
+        table1_section(settings),
+        protocols_section(settings),
+        fig4_section(settings),
+        content_section(settings),
+        rate_section(settings),
+        fig5_section(settings),
+        fig6_section(settings),
+        ablations_section(settings),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,48 @@
+"""Transport protocols: RTP (RFC 3550), simplified QUIC, and probing.
+
+Sec. 4.1 of the paper identifies the delivery protocol per device mix by
+looking at packet bytes with Wireshark: FaceTime uses QUIC when every
+participant is on Vision Pro and falls back to RTP (with the Payload Types
+of ordinary 2D calls) otherwise; Zoom, Webex, and Teams always use RTP.
+This package produces real packet bytes for both protocols so the classifier
+in :mod:`repro.analysis.protocol` can re-derive that finding from captures.
+"""
+
+from repro.transport.rtp import (
+    RtpHeader,
+    RtpPacketizer,
+    PayloadType,
+    FACETIME_VIDEO_PT,
+    FACETIME_AUDIO_PT,
+)
+from repro.transport.quic import QuicConnection, QuicPacketHeader, is_quic_datagram
+from repro.transport.probing import TcpPingResponder, tcp_ping
+from repro.transport.rtcp import (
+    ReceiverReport,
+    ReceptionEstimator,
+    ReportBlock,
+    SenderReport,
+    parse_rtcp,
+)
+from repro.transport.fec import FecDecoder, FecEncoder, FecPacket
+
+__all__ = [
+    "RtpHeader",
+    "RtpPacketizer",
+    "PayloadType",
+    "FACETIME_VIDEO_PT",
+    "FACETIME_AUDIO_PT",
+    "QuicConnection",
+    "QuicPacketHeader",
+    "is_quic_datagram",
+    "TcpPingResponder",
+    "tcp_ping",
+    "ReceiverReport",
+    "ReceptionEstimator",
+    "ReportBlock",
+    "SenderReport",
+    "parse_rtcp",
+    "FecDecoder",
+    "FecEncoder",
+    "FecPacket",
+]

@@ -1,0 +1,132 @@
+"""RTP (RFC 3550): header codec and media packetizer.
+
+The paper inspects RTP Payload Type fields to check that FaceTime's 2D
+fallback uses the same codecs as ordinary 2D FaceTime calls (Sec. 4.1).
+Headers here are real RFC 3550 bytes — 12-byte fixed header, version 2 —
+so captures can be parsed back by the analysis layer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+#: RTP protocol version (RFC 3550).
+RTP_VERSION = 2
+
+#: Size of the fixed RTP header with no CSRCs or extensions.
+RTP_HEADER_BYTES = 12
+
+#: Media payload budget per RTP packet (fits in the media MTU with headers).
+RTP_MAX_PAYLOAD = 1188
+
+
+@dataclass(frozen=True)
+class PayloadType:
+    """A (number, name, clock rate) payload-type registration."""
+
+    number: int
+    name: str
+    clock_rate_hz: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.number <= 127:
+            raise ValueError(f"PT must fit in 7 bits, got {self.number}")
+
+
+#: Dynamic payload types FaceTime uses for both 2D calls and the Vision Pro
+#: 2D fallback (Sec. 4.1: "PTs ... remains consistent with that in
+#: traditional 2D video calls").
+FACETIME_VIDEO_PT = PayloadType(124, "H264/FaceTime", 90_000)
+FACETIME_AUDIO_PT = PayloadType(104, "AAC-ELD/FaceTime", 48_000)
+
+#: Payload types for the other three VCAs (dynamic range, per-app profiles).
+ZOOM_VIDEO_PT = PayloadType(98, "H264/Zoom", 90_000)
+WEBEX_VIDEO_PT = PayloadType(102, "H264/Webex", 90_000)
+TEAMS_VIDEO_PT = PayloadType(122, "H264/Teams", 90_000)
+
+
+@dataclass(frozen=True)
+class RtpHeader:
+    """The fixed RTP header (no CSRC list, no extension)."""
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    marker: bool = False
+
+    def pack(self) -> bytes:
+        """Serialize to the 12 RFC 3550 header bytes."""
+        byte0 = (RTP_VERSION << 6)  # P=0, X=0, CC=0
+        byte1 = (int(self.marker) << 7) | (self.payload_type & 0x7F)
+        return struct.pack(
+            "!BBHII",
+            byte0,
+            byte1,
+            self.sequence & 0xFFFF,
+            self.timestamp & 0xFFFFFFFF,
+            self.ssrc & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "RtpHeader":
+        """Parse the fixed header from the front of a datagram.
+
+        Raises:
+            ValueError: If the bytes are not a version-2 RTP header.
+        """
+        if len(data) < RTP_HEADER_BYTES:
+            raise ValueError("datagram shorter than an RTP header")
+        byte0, byte1, seq, ts, ssrc = struct.unpack("!BBHII", data[:RTP_HEADER_BYTES])
+        if byte0 >> 6 != RTP_VERSION:
+            raise ValueError(f"not RTP version 2 (first byte {byte0:#04x})")
+        return cls(
+            payload_type=byte1 & 0x7F,
+            sequence=seq,
+            timestamp=ts,
+            ssrc=ssrc,
+            marker=bool(byte1 >> 7),
+        )
+
+
+def looks_like_rtp(data: bytes) -> bool:
+    """Heuristic a passive observer uses: version bits + sane PT."""
+    if len(data) < RTP_HEADER_BYTES:
+        return False
+    return data[0] >> 6 == RTP_VERSION
+
+
+class RtpPacketizer:
+    """Split media frames into RTP packets for one stream (one SSRC)."""
+
+    def __init__(self, payload_type: PayloadType, ssrc: int,
+                 initial_sequence: int = 0) -> None:
+        self.payload_type = payload_type
+        self.ssrc = ssrc
+        self._sequence = initial_sequence & 0xFFFF
+
+    def packetize(self, frame: bytes, media_timestamp: int) -> List[bytes]:
+        """Produce the RTP datagrams carrying one encoded frame.
+
+        The final packet of the frame carries the marker bit, per the usual
+        video packetization convention.
+        """
+        if not frame:
+            raise ValueError("cannot packetize an empty frame")
+        chunks = [
+            frame[i:i + RTP_MAX_PAYLOAD] for i in range(0, len(frame), RTP_MAX_PAYLOAD)
+        ]
+        datagrams = []
+        for index, chunk in enumerate(chunks):
+            header = RtpHeader(
+                payload_type=self.payload_type.number,
+                sequence=self._sequence,
+                timestamp=media_timestamp,
+                ssrc=self.ssrc,
+                marker=(index == len(chunks) - 1),
+            )
+            self._sequence = (self._sequence + 1) & 0xFFFF
+            datagrams.append(header.pack() + chunk)
+        return datagrams

@@ -1,0 +1,71 @@
+"""Videoconferencing application models and session orchestration.
+
+Encodes the behaviours Sec. 4.1-4.2 of the paper reverse-engineers for
+Apple FaceTime, Zoom, Cisco Webex, and Microsoft Teams on Vision Pro:
+
+- persona kind per device mix (spatial only on all-Vision-Pro FaceTime),
+- transport choice (FaceTime: QUIC iff all Vision Pro, else RTP with the
+  2D-call payload types; others: always RTP),
+- P2P fallback for two-party FaceTime/Zoom calls (except both-Vision-Pro
+  FaceTime),
+- initiator-nearest server selection, and
+- SFU forwarding at the chosen server.
+"""
+
+from repro.vca.profiles import (
+    VcaProfile,
+    PersonaKind,
+    Protocol,
+    FACETIME,
+    ZOOM,
+    WEBEX,
+    TEAMS,
+    PROFILES,
+)
+from repro.vca.media import AudioSource, SemanticSource, VideoSource, MeshSource
+from repro.vca.session import Participant, TelepresenceSession, SessionResult
+from repro.vca.receiver import SemanticReceiver, PersonaAvailability
+from repro.vca.media import LayeredSemanticSource
+from repro.vca.stats import MediaStatsCollector, RtcpAgent, StreamStatistics
+from repro.vca.dynamics import DynamicSession, DynamicSessionResult, MembershipEvent
+from repro.vca.qoe import QoeFactors, score as qoe_score, meets_high_qoe_bar
+from repro.vca.jitterbuffer import JitterBuffer, minimal_playout_delay_ms
+from repro.vca.shareplay import SharedContentProfile, SharedContentSource
+from repro.vca.planner import plan_session, check_feasibility, max_users_for_capacity
+
+__all__ = [
+    "VcaProfile",
+    "PersonaKind",
+    "Protocol",
+    "FACETIME",
+    "ZOOM",
+    "WEBEX",
+    "TEAMS",
+    "PROFILES",
+    "AudioSource",
+    "SemanticSource",
+    "VideoSource",
+    "MeshSource",
+    "Participant",
+    "TelepresenceSession",
+    "SessionResult",
+    "SemanticReceiver",
+    "PersonaAvailability",
+    "LayeredSemanticSource",
+    "MediaStatsCollector",
+    "RtcpAgent",
+    "StreamStatistics",
+    "DynamicSession",
+    "DynamicSessionResult",
+    "MembershipEvent",
+    "QoeFactors",
+    "qoe_score",
+    "meets_high_qoe_bar",
+    "JitterBuffer",
+    "minimal_playout_delay_ms",
+    "SharedContentProfile",
+    "SharedContentSource",
+    "plan_session",
+    "check_feasibility",
+    "max_users_for_capacity",
+]

@@ -1,0 +1,121 @@
+"""Receiver-side jitter buffer (playout delay) model.
+
+Media receivers trade latency for smoothness: frames are held for a fixed
+playout delay so network jitter does not starve the renderer.  The spatial
+persona pipeline has an unusually easy job here — one small packet per
+frame at 90 Hz — but the same machinery explains how much delay a given
+jitter distribution costs, which feeds the display-latency budget of
+Sec. 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro import calibration
+
+
+@dataclass(frozen=True)
+class PlayoutReport:
+    """Outcome of playing a stream through a fixed playout delay."""
+
+    playout_delay_ms: float
+    frames: int
+    late_frames: int
+    mean_wait_ms: float
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of frames that missed their playout slot."""
+        return self.late_frames / self.frames if self.frames else 0.0
+
+
+class JitterBuffer:
+    """Fixed-playout-delay buffer over (send, arrival) timestamp pairs.
+
+    Frame ``i`` is scheduled for playout at ``send_i + delay``; it is late
+    when it arrives after that instant.  ``mean_wait_ms`` is how long
+    on-time frames sat in the buffer — the latency cost of the smoothing.
+    """
+
+    def __init__(self, playout_delay_ms: float) -> None:
+        if playout_delay_ms < 0:
+            raise ValueError("playout delay cannot be negative")
+        self.playout_delay_ms = playout_delay_ms
+
+    def play(self, timestamps: Sequence[Tuple[float, float]]) -> PlayoutReport:
+        """Run the stream; timestamps are (send_s, arrival_s) pairs.
+
+        Raises:
+            ValueError: On an empty stream.
+        """
+        if not timestamps:
+            raise ValueError("no frames to play")
+        late = 0
+        waits: List[float] = []
+        delay_s = self.playout_delay_ms / 1000.0
+        for send_s, arrival_s in timestamps:
+            playout_s = send_s + delay_s
+            if arrival_s > playout_s:
+                late += 1
+            else:
+                waits.append((playout_s - arrival_s) * 1000.0)
+        return PlayoutReport(
+            playout_delay_ms=self.playout_delay_ms,
+            frames=len(timestamps),
+            late_frames=late,
+            mean_wait_ms=float(np.mean(waits)) if waits else 0.0,
+        )
+
+
+def minimal_playout_delay_ms(
+    timestamps: Sequence[Tuple[float, float]],
+    late_budget: float = 0.01,
+    resolution_ms: float = 0.5,
+    max_delay_ms: float = 500.0,
+) -> float:
+    """Smallest playout delay keeping lateness within ``late_budget``.
+
+    This is the steady-state answer an adaptive jitter buffer converges
+    to; it equals (approximately) the ``1 - late_budget`` quantile of the
+    one-way delay distribution.
+
+    Raises:
+        ValueError: If even ``max_delay_ms`` cannot meet the budget.
+    """
+    if not 0.0 <= late_budget < 1.0:
+        raise ValueError("late budget must be in [0, 1)")
+    delays_ms = np.arange(0.0, max_delay_ms + resolution_ms, resolution_ms)
+    one_way = np.array([a - s for s, a in timestamps]) * 1000.0
+    for delay in delays_ms:
+        if float(np.mean(one_way > delay)) <= late_budget:
+            return float(delay)
+    raise ValueError(
+        f"cannot meet a {late_budget:.1%} late budget within "
+        f"{max_delay_ms} ms"
+    )
+
+
+def persona_playout_budget_ms(network_jitter_std_ms: float,
+                              base_one_way_ms: float,
+                              late_budget: float = 0.01) -> float:
+    """Analytic playout delay for Gaussian jitter (sanity companion).
+
+    The ``1 - late_budget`` Gaussian quantile above the base one-way
+    delay; with the display pipeline's own frame of slack this stays well
+    inside the < 16 ms display-latency difference bound of Sec. 4.3 for
+    the jitter the testbed exhibits.
+    """
+    from scipy.stats import norm
+
+    if network_jitter_std_ms < 0:
+        raise ValueError("jitter std cannot be negative")
+    quantile = norm.ppf(1.0 - late_budget)
+    return base_one_way_ms + quantile * network_jitter_std_ms
+
+
+#: One display frame of slack at the 90 FPS target.
+FRAME_SLACK_MS = calibration.FRAME_DEADLINE_MS

@@ -1,0 +1,138 @@
+"""Per-VCA behaviour profiles.
+
+Every observable the paper attributes to an application — resolution,
+bitrate, transport, P2P policy, server fleet — lives in one
+:class:`VcaProfile` record per provider.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro import calibration
+from repro.devices.models import Device, all_vision_pro
+from repro.transport.rtp import (
+    FACETIME_VIDEO_PT,
+    PayloadType,
+    TEAMS_VIDEO_PT,
+    WEBEX_VIDEO_PT,
+    ZOOM_VIDEO_PT,
+)
+
+
+class PersonaKind(enum.Enum):
+    """What representation of a participant the session delivers."""
+
+    SPATIAL = "spatial"
+    TWO_D = "2d"
+
+
+class Protocol(enum.Enum):
+    """Transport carrying the media."""
+
+    QUIC = "quic"
+    RTP = "rtp"
+
+
+@dataclass(frozen=True)
+class VcaProfile:
+    """Static behaviour description of one provider.
+
+    Attributes:
+        name: Provider name, matching the fleet registry in
+            :mod:`repro.geo.servers`.
+        supports_spatial: Only FaceTime renders spatial personas.
+        p2p_two_party: Whether two-party calls go peer-to-peer (Sec. 4.1:
+            FaceTime and Zoom; FaceTime makes an exception for the
+            both-Vision-Pro case, handled in :meth:`uses_p2p`).
+        video_resolution: 2D persona render resolution (Sec. 4.2).
+        video_bitrate_mbps: Target uplink wire throughput of the 2D
+            persona stream (Fig. 4 calibration).
+        video_fps: Encoder frame rate for 2D video.
+        audio_bitrate_kbps: Audio stream rate.
+        payload_type: RTP payload type of the video codec.
+    """
+
+    name: str
+    supports_spatial: bool
+    p2p_two_party: bool
+    video_resolution: Tuple[int, int]
+    video_bitrate_mbps: float
+    video_fps: int
+    audio_bitrate_kbps: float
+    payload_type: PayloadType
+
+    def persona_kind(self, devices: Sequence[Device]) -> PersonaKind:
+        """Spatial persona requires FaceTime *and* all-Vision-Pro (Sec. 2, 4.1)."""
+        if self.supports_spatial and all_vision_pro(tuple(devices)):
+            return PersonaKind.SPATIAL
+        return PersonaKind.TWO_D
+
+    def protocol(self, devices: Sequence[Device]) -> Protocol:
+        """FaceTime moves to QUIC only for spatial sessions (Sec. 4.1)."""
+        if self.persona_kind(devices) is PersonaKind.SPATIAL:
+            return Protocol.QUIC
+        return Protocol.RTP
+
+    def uses_p2p(self, devices: Sequence[Device]) -> bool:
+        """Two-party P2P policy (Sec. 4.1).
+
+        Zoom and FaceTime are P2P with two users, *except* FaceTime when
+        both users are on Vision Pro (the spatial-persona relay case).
+        """
+        if len(devices) != 2 or not self.p2p_two_party:
+            return False
+        if self.persona_kind(devices) is PersonaKind.SPATIAL:
+            return False
+        return True
+
+
+FACETIME = VcaProfile(
+    name="FaceTime",
+    supports_spatial=True,
+    p2p_two_party=True,
+    video_resolution=(1280, 720),
+    video_bitrate_mbps=calibration.FACETIME_2D_MBPS,
+    video_fps=30,
+    audio_bitrate_kbps=32.0,
+    payload_type=FACETIME_VIDEO_PT,
+)
+
+ZOOM = VcaProfile(
+    name="Zoom",
+    supports_spatial=False,
+    p2p_two_party=True,
+    video_resolution=calibration.ZOOM_RESOLUTION,
+    video_bitrate_mbps=calibration.ZOOM_MBPS,
+    video_fps=30,
+    audio_bitrate_kbps=32.0,
+    payload_type=ZOOM_VIDEO_PT,
+)
+
+WEBEX = VcaProfile(
+    name="Webex",
+    supports_spatial=False,
+    p2p_two_party=False,
+    video_resolution=calibration.WEBEX_RESOLUTION,
+    video_bitrate_mbps=calibration.WEBEX_MBPS,
+    video_fps=30,
+    audio_bitrate_kbps=32.0,
+    payload_type=WEBEX_VIDEO_PT,
+)
+
+TEAMS = VcaProfile(
+    name="Teams",
+    supports_spatial=False,
+    p2p_two_party=False,
+    video_resolution=(1280, 720),
+    video_bitrate_mbps=calibration.TEAMS_MBPS,
+    video_fps=30,
+    audio_bitrate_kbps=32.0,
+    payload_type=TEAMS_VIDEO_PT,
+)
+
+PROFILES: Dict[str, VcaProfile] = {
+    p.name: p for p in (FACETIME, ZOOM, WEBEX, TEAMS)
+}

@@ -1,0 +1,100 @@
+"""Quality-of-experience model for immersive telepresence.
+
+The paper anchors its QoE discussion on two published thresholds:
+
+- **100 ms one-way delay** is "the threshold for maintaining a high QoE in
+  immersive telepresence" (Sec. 4.1, [18, 21]); and
+- the **90 FPS / 11.1 ms** render deadline, whose misses manifest as
+  display judder (Sec. 4.5).
+
+This module combines delay, persona availability, delivered frame rate,
+and visual quality (triangle fraction) into a single [0, 1] score with
+multiplicative impairments — the usual structure of parametric QoE models
+— so policies (server selection, layered codecs) can be compared on one
+axis.  The *shape* (which factor dominates where) is what matters; the
+absolute scores carry no MOS calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import calibration
+
+#: One-way delay threshold for high QoE (Sec. 4.1, refs [18, 21]).
+ONE_WAY_DELAY_THRESHOLD_MS = 100.0
+
+
+@dataclass(frozen=True)
+class QoeFactors:
+    """The measurable inputs of the QoE model."""
+
+    one_way_delay_ms: float
+    persona_availability: float     # [0, 1] reconstructed frame fraction
+    displayed_fps: float
+    triangle_fraction: float = 1.0  # rendered / full-quality triangles
+
+    def __post_init__(self) -> None:
+        if self.one_way_delay_ms < 0:
+            raise ValueError("delay cannot be negative")
+        if not 0.0 <= self.persona_availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+        if self.displayed_fps < 0:
+            raise ValueError("fps cannot be negative")
+        if not 0.0 <= self.triangle_fraction <= 1.0:
+            raise ValueError("triangle fraction must be in [0, 1]")
+
+
+def delay_factor(one_way_delay_ms: float) -> float:
+    """1.0 up to the 100 ms threshold, then exponential decay.
+
+    Interactivity degrades gracefully but quickly once the round trip
+    becomes perceptible; the decay constant puts ~0.5 at 2x threshold.
+    """
+    if one_way_delay_ms <= ONE_WAY_DELAY_THRESHOLD_MS:
+        return 1.0
+    excess = one_way_delay_ms - ONE_WAY_DELAY_THRESHOLD_MS
+    return float(np.exp(-excess / 150.0))
+
+
+def frame_rate_factor(displayed_fps: float,
+                      target_fps: float = float(calibration.TARGET_FPS)
+                      ) -> float:
+    """Linear in delivered frame ratio with a comfort floor at 60 FPS.
+
+    Headset comfort collapses quickly under 60 FPS; between 60 and the
+    90 FPS target the penalty is mild.
+    """
+    if displayed_fps >= target_fps:
+        return 1.0
+    if displayed_fps >= 60.0:
+        return 0.9 + 0.1 * (displayed_fps - 60.0) / (target_fps - 60.0)
+    return max(0.0, 0.9 * displayed_fps / 60.0)
+
+
+def quality_factor(triangle_fraction: float) -> float:
+    """Perceptual quality vs. mesh resolution (diminishing returns)."""
+    return float(triangle_fraction ** 0.3)
+
+
+def score(factors: QoeFactors) -> float:
+    """Multiplicative QoE score in [0, 1].
+
+    Availability gates everything: a persona that is not there has no
+    experience to rate.
+    """
+    return (
+        factors.persona_availability
+        * delay_factor(factors.one_way_delay_ms)
+        * frame_rate_factor(factors.displayed_fps)
+        * quality_factor(factors.triangle_fraction)
+    )
+
+
+def meets_high_qoe_bar(factors: QoeFactors, bar: float = 0.85) -> bool:
+    """Whether a configuration clears a "high QoE" bar."""
+    if not 0.0 < bar <= 1.0:
+        raise ValueError("bar must be in (0, 1]")
+    return score(factors) >= bar

@@ -1,0 +1,121 @@
+"""Receiver-side semantic processing and availability tracking.
+
+The receiving headset decodes each sender's semantic frames and attempts
+reconstruction.  Because semantic communication carries no redundancy and
+FaceTime does no rate adaptation (Sec. 4.3), sustained frame shortfall
+makes the persona unavailable — the UI's "poor connection" state.  The
+receiver tracks exactly that: per-sender delivered-frame rate against the
+90 FPS expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro import calibration
+from repro.keypoints.codec import EncodedKeypointFrame, SemanticCodec
+from repro.keypoints.reconstruct import frame_is_reconstructible
+from repro.netsim.packet import Packet
+from repro.transport.quic import QuicConnection
+from repro.vca.media import quic_connection_for
+
+#: A persona is declared unavailable when fewer than this fraction of the
+#: expected frames arrived and reconstructed over the evaluation window.
+#: Semantic streams carry no redundancy or retransmission, so near-perfect
+#: delivery is required; this threshold puts the collapse right where the
+#: paper observes it (< 700 Kbps uplink -> "poor connection").
+AVAILABILITY_THRESHOLD = 0.97
+
+
+@dataclass
+class PersonaAvailability:
+    """Delivery bookkeeping for one remote sender's persona."""
+
+    sender: str
+    frames_received: int = 0
+    frames_reconstructed: int = 0
+    frames_failed: int = 0
+    first_arrival_s: Optional[float] = None
+    last_arrival_s: Optional[float] = None
+
+    def delivered_fps(self) -> float:
+        """Reconstructed frames per second over the observed span."""
+        if (
+            self.first_arrival_s is None
+            or self.last_arrival_s is None
+            or self.last_arrival_s <= self.first_arrival_s
+        ):
+            return 0.0
+        span = self.last_arrival_s - self.first_arrival_s
+        return self.frames_reconstructed / span
+
+    def availability(self, expected_fps: float = float(calibration.TARGET_FPS)
+                     ) -> float:
+        """Fraction of the expected frame rate actually reconstructed."""
+        if expected_fps <= 0:
+            raise ValueError("expected_fps must be positive")
+        return min(1.0, self.delivered_fps() / expected_fps)
+
+    def poor_connection(self, expected_fps: float = float(calibration.TARGET_FPS)
+                        ) -> bool:
+        """Whether FaceTime would show "poor connection" for this persona."""
+        return self.availability(expected_fps) < AVAILABILITY_THRESHOLD
+
+
+class SemanticReceiver:
+    """Decodes semantic streams of all remote senders at one participant.
+
+    Bind :meth:`handle` to the participant's media port.  Non-semantic
+    packets (audio, QUIC handshake) are counted but not decoded.
+    """
+
+    def __init__(self, session_secret: bytes,
+                 clock: Callable[[], float]) -> None:
+        self._secret = session_secret
+        self._clock = clock
+        self._codec = SemanticCodec()
+        self._connections: Dict[str, QuicConnection] = {}
+        self.stats: Dict[str, PersonaAvailability] = {}
+        self.other_packets = 0
+
+    def _connection(self, sender: str) -> QuicConnection:
+        if sender not in self._connections:
+            self._connections[sender] = quic_connection_for(sender, self._secret)
+        return self._connections[sender]
+
+    def _stats(self, sender: str) -> PersonaAvailability:
+        if sender not in self.stats:
+            self.stats[sender] = PersonaAvailability(sender)
+        return self.stats[sender]
+
+    def handle(self, packet: Packet) -> None:
+        """Process one arriving media packet."""
+        if packet.meta.get("kind") != "semantic":
+            self.other_packets += 1
+            return
+        sender = packet.meta.get("origin", packet.src)
+        record = self._stats(sender)
+        now = self._clock()
+        record.frames_received += 1
+        if record.first_arrival_s is None:
+            record.first_arrival_s = now
+        record.last_arrival_s = now
+        try:
+            plaintext = self._connection(sender).unprotect(packet.payload)
+            decoded = self._codec.decode(EncodedKeypointFrame(plaintext))
+        except ValueError:
+            record.frames_failed += 1
+            return
+        if frame_is_reconstructible(decoded):
+            record.frames_reconstructed += 1
+        else:
+            record.frames_failed += 1
+
+    def senders(self) -> List[str]:
+        """Addresses of all senders seen so far."""
+        return sorted(self.stats)
+
+    def any_poor_connection(self) -> bool:
+        """True when any remote persona dropped below the threshold."""
+        return any(s.poor_connection() for s in self.stats.values())

@@ -1,0 +1,254 @@
+"""Telepresence session orchestration over the simulated testbed.
+
+A :class:`TelepresenceSession` wires participants, the provider's behaviour
+profile, server selection, media sources, receivers, and AP captures into
+one runnable experiment — the unit every measurement in Sec. 4 operates on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import calibration
+from repro.devices.models import Device
+from repro.geo.coords import GeoPoint
+from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
+from repro.geo.servers import Server, build_fleet
+from repro.netsim.capture import PacketCapture
+from repro.netsim.engine import Simulator
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.netsim.sfu import SelectiveForwardingUnit
+from repro.netsim.shaper import TrafficShaper
+from repro.vca.media import (
+    MEDIA_PORT,
+    AudioSource,
+    SemanticSource,
+    VideoSource,
+)
+from repro.vca.profiles import PersonaKind, Protocol, VcaProfile
+from repro.vca.receiver import SemanticReceiver
+from repro.vca.stats import MediaStatsCollector, RtcpAgent
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One user in a session."""
+
+    user_id: str
+    device: Device
+    location: GeoPoint
+
+    def address(self, index: int) -> str:
+        """Deterministic client address by join order."""
+        return f"10.0.{index}.2"
+
+
+@dataclass
+class SessionResult:
+    """Everything a finished session exposes for analysis."""
+
+    profile: VcaProfile
+    persona_kind: PersonaKind
+    protocol: Protocol
+    p2p: bool
+    server: Optional[Server]
+    duration_s: float
+    captures: Dict[str, PacketCapture]
+    receivers: Dict[str, SemanticReceiver]
+    video_packets_received: Dict[str, int]
+    addresses: Dict[str, str]
+    stats_collectors: Dict[str, MediaStatsCollector] = field(default_factory=dict)
+
+    def capture_of(self, user_id: str) -> PacketCapture:
+        """The AP capture of one participant."""
+        return self.captures[user_id]
+
+    def receiver_of(self, user_id: str) -> SemanticReceiver:
+        """The semantic receiver of one participant (spatial sessions)."""
+        return self.receivers[user_id]
+
+    def stats_of(self, user_id: str) -> MediaStatsCollector:
+        """The in-app statistics panel of one participant (2D sessions)."""
+        return self.stats_collectors[user_id]
+
+
+class TelepresenceSession:
+    """Builds and runs one telepresence call.
+
+    Args:
+        profile: Provider behaviour profile.
+        participants: Users in join order; the first is the initiator
+            unless ``initiator_index`` says otherwise.
+        seed: Master seed for media and motion randomness.
+        path_model: Wide-area latency model.
+        warmup_s: Time before sources start counting toward captures
+            (handshakes happen here).
+    """
+
+    def __init__(
+        self,
+        profile: VcaProfile,
+        participants: Sequence[Participant],
+        initiator_index: int = 0,
+        seed: int = 0,
+        path_model: Optional[PathModel] = None,
+    ) -> None:
+        if len(participants) < 2:
+            raise ValueError("a session needs at least two participants")
+        if not 0 <= initiator_index < len(participants):
+            raise ValueError("initiator index out of range")
+        if (
+            profile.supports_spatial
+            and len(participants) > calibration.MAX_SPATIAL_PERSONAS
+            and profile.persona_kind([p.device for p in participants])
+            is PersonaKind.SPATIAL
+        ):
+            raise ValueError(
+                f"FaceTime supports at most {calibration.MAX_SPATIAL_PERSONAS} "
+                "spatial personas"
+            )
+        self.profile = profile
+        self.participants = list(participants)
+        self.initiator_index = initiator_index
+        self.seed = seed
+        self.sim = Simulator()
+        self.network = Network(self.sim, path_model or DEFAULT_PATH_MODEL)
+
+        devices = [p.device for p in self.participants]
+        self.persona_kind = profile.persona_kind(devices)
+        self.protocol = profile.protocol(devices)
+        self.p2p = profile.uses_p2p(devices)
+        self.session_secret = hashlib.sha256(
+            f"{profile.name}-{seed}".encode()
+        ).digest()
+
+        self._hosts: Dict[str, Host] = {}
+        self._addresses: Dict[str, str] = {}
+        self._receivers: Dict[str, SemanticReceiver] = {}
+        self._video_counts: Dict[str, int] = {}
+        self._stats_collectors: Dict[str, MediaStatsCollector] = {}
+        self._captures: Dict[str, PacketCapture] = {}
+        self.server: Optional[Server] = None
+        self._sfu: Optional[SelectiveForwardingUnit] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        for index, participant in enumerate(self.participants):
+            address = participant.address(index)
+            host = Host(address, participant.location, name=participant.user_id)
+            self.network.attach(host)
+            self._hosts[participant.user_id] = host
+            self._addresses[participant.user_id] = address
+            self._captures[participant.user_id] = self.network.start_capture(address)
+
+        if not self.p2p:
+            fleet = build_fleet(self.profile.name, self.network.path_model)
+            initiator = self.participants[self.initiator_index]
+            self.server = fleet.select_for_session(
+                initiator.location, [p.location for p in self.participants]
+            )
+            sfu = SelectiveForwardingUnit(
+                self.server.address, self.server.location,
+                name=f"{self.profile.name}-sfu",
+            )
+            self.network.attach(sfu)
+            for participant in self.participants:
+                sfu.register(self._addresses[participant.user_id], MEDIA_PORT)
+            self._sfu = sfu
+
+        for index, participant in enumerate(self.participants):
+            self._wire_participant(index, participant)
+
+    def _media_target(self, index: int) -> "tuple[str, int]":
+        """(address, port) where participant ``index`` sends media."""
+        if self._sfu is not None:
+            return self._sfu.address, SelectiveForwardingUnit.MEDIA_PORT
+        peer = self.participants[1 - index]  # p2p implies two participants
+        return self._addresses[peer.user_id], MEDIA_PORT
+
+    def _wire_participant(self, index: int, participant: Participant) -> None:
+        host = self._hosts[participant.user_id]
+        target_address, target_port = self._media_target(index)
+        seed = self.seed * 1000 + index
+
+        if self.persona_kind is PersonaKind.SPATIAL:
+            receiver = SemanticReceiver(self.session_secret, lambda: self.sim.now)
+            host.bind(MEDIA_PORT, receiver.handle)
+            self._receivers[participant.user_id] = receiver
+            SemanticSource(self.session_secret, seed=seed).attach(
+                self.sim, host, target_address, target_port
+            )
+            AudioSource(
+                self.profile.audio_bitrate_kbps, seed=seed,
+                session_secret=self.session_secret,
+            ).attach(self.sim, host, target_address, target_port)
+        else:
+            self._video_counts[participant.user_id] = 0
+            collector = MediaStatsCollector(self.profile, lambda: self.sim.now)
+            self._stats_collectors[participant.user_id] = collector
+
+            def receive(packet: Packet, uid: str = participant.user_id,
+                        coll: MediaStatsCollector = collector) -> None:
+                if packet.meta.get("kind") == "video":
+                    self._video_counts[uid] += 1
+                coll.on_packet(packet)
+
+            host.bind(MEDIA_PORT, receive)
+            video_mbps = (
+                self.profile.video_bitrate_mbps
+                - self.profile.audio_bitrate_kbps / 1000.0
+            )
+            video = VideoSource(
+                self.profile.payload_type, video_mbps,
+                fps=self.profile.video_fps, seed=seed,
+            )
+            video.attach(self.sim, host, target_address, target_port)
+            AudioSource(self.profile.audio_bitrate_kbps, seed=seed).attach(
+                self.sim, host, target_address, target_port
+            )
+            RtcpAgent(host, collector, video, target_address,
+                      target_port).attach(self.sim)
+
+    # ------------------------------------------------------------------
+    # Controls and execution
+    # ------------------------------------------------------------------
+
+    def host_of(self, user_id: str) -> Host:
+        """The simulated host of a participant."""
+        return self._hosts[user_id]
+
+    def shape_uplink(self, user_id: str, shaper: Optional[TrafficShaper]) -> None:
+        """Install a tc-style shaper on one participant's uplink."""
+        self.network.set_uplink_shaper(self._addresses[user_id], shaper)
+
+    def shape_downlink(self, user_id: str, shaper: Optional[TrafficShaper]) -> None:
+        """Install a tc-style shaper on one participant's downlink."""
+        self.network.set_downlink_shaper(self._addresses[user_id], shaper)
+
+    def run(self, duration_s: float = float(calibration.MIN_SESSION_SECONDS)
+            ) -> SessionResult:
+        """Run the call for ``duration_s`` simulated seconds."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.sim.run(until=duration_s)
+        return SessionResult(
+            profile=self.profile,
+            persona_kind=self.persona_kind,
+            protocol=self.protocol,
+            p2p=self.p2p,
+            server=self.server,
+            duration_s=duration_s,
+            captures=dict(self._captures),
+            receivers=dict(self._receivers),
+            video_packets_received=dict(self._video_counts),
+            addresses=dict(self._addresses),
+            stats_collectors=dict(self._stats_collectors),
+        )

@@ -1,0 +1,206 @@
+"""In-app telepresence statistics — the panels the paper reads.
+
+Sec. 3.2: "we collect telepresence statistics using the tools provided by
+Zoom [76], Webex [25], and Teams [53]".  Those panels show, per incoming
+stream: resolution, frame rate, receive bitrate, packet loss, jitter, and
+round-trip time — all derived from RTP arrival bookkeeping plus RTCP.
+
+:class:`MediaStatsCollector` is the receiver half (RTP accounting +
+incoming RTCP), :class:`RtcpAgent` the periodic SR/RR sender; together a
+2D session exposes the same panel the paper's screenshots come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Host
+from repro.netsim.packet import IPPROTO_UDP, Packet
+from repro.transport.rtcp import (
+    ReceiverReport,
+    ReceptionEstimator,
+    SenderReport,
+    parse_rtcp,
+    rtt_from_report,
+    to_ntp_middle,
+)
+from repro.transport.rtp import RtpHeader
+from repro.vca.profiles import VcaProfile
+
+
+@dataclass(frozen=True)
+class StreamStatistics:
+    """One row of the in-app statistics panel."""
+
+    origin: str
+    resolution: Tuple[int, int]
+    frame_rate_fps: float
+    receive_mbps: float
+    packet_loss: float
+    jitter_ms: float
+    rtt_ms: Optional[float]
+
+
+@dataclass
+class _StreamState:
+    """Receiver bookkeeping for one remote stream."""
+
+    estimator: ReceptionEstimator
+    payload_bytes: int = 0
+    frames: int = 0
+    first_arrival: Optional[float] = None
+    last_arrival: Optional[float] = None
+
+
+class MediaStatsCollector:
+    """Receiver-side statistics for every incoming 2D media stream."""
+
+    def __init__(self, profile: VcaProfile, clock: Callable[[], float]) -> None:
+        self.profile = profile
+        self._clock = clock
+        self._streams: Dict[str, _StreamState] = {}
+        #: RTTs computed from RRs that echo our own SRs.
+        self.measured_rtts_ms: List[float] = []
+        self._own_sr_middles: List[int] = []
+
+    def _stream(self, origin: str) -> _StreamState:
+        if origin not in self._streams:
+            self._streams[origin] = _StreamState(
+                ReceptionEstimator(
+                    ssrc=0, clock_rate_hz=self.profile.payload_type.clock_rate_hz
+                )
+            )
+        return self._streams[origin]
+
+    def note_own_sender_report(self, ntp_seconds: float) -> None:
+        """Remember an SR we sent, to match returned LSR fields."""
+        self._own_sr_middles.append(to_ntp_middle(ntp_seconds))
+
+    def on_packet(self, packet: Packet) -> None:
+        """Feed one received media-port packet (video or RTCP)."""
+        kind = packet.meta.get("kind")
+        origin = packet.meta.get("origin", packet.src)
+        now = self._clock()
+        if kind == "video":
+            try:
+                header = RtpHeader.parse(packet.payload)
+            except ValueError:
+                return
+            state = self._stream(origin)
+            state.estimator.ssrc = header.ssrc
+            state.estimator.on_rtp(header.sequence, header.timestamp, now)
+            state.payload_bytes += len(packet.payload)
+            if state.first_arrival is None:
+                state.first_arrival = now
+            state.last_arrival = now
+            if header.marker:
+                state.frames += 1
+        elif kind == "rtcp":
+            self._on_rtcp(origin, packet.payload, now)
+
+    def _on_rtcp(self, origin: str, payload: bytes, now: float) -> None:
+        try:
+            report = parse_rtcp(payload)
+        except ValueError:
+            return
+        if isinstance(report, SenderReport):
+            self._stream(origin).estimator.on_sender_report(report, now)
+            blocks = report.blocks
+        else:
+            blocks = report.blocks
+        for block in blocks:
+            for middle in self._own_sr_middles:
+                rtt = rtt_from_report(block, middle, now)
+                if rtt is not None:
+                    self.measured_rtts_ms.append(rtt * 1000.0)
+                    break
+
+    def origins(self) -> List[str]:
+        """All remote senders seen so far."""
+        return sorted(self._streams)
+
+    def report_blocks(self) -> List:
+        """Fresh report blocks for every tracked stream (for our RR/SR)."""
+        now = self._clock()
+        return [
+            s.estimator.make_report_block(now) for s in self._streams.values()
+        ]
+
+    def snapshot(self, origin: str) -> StreamStatistics:
+        """The panel row for one remote stream.
+
+        Raises:
+            KeyError: If no media from ``origin`` has arrived yet.
+        """
+        state = self._streams[origin]
+        span = 0.0
+        if state.first_arrival is not None and state.last_arrival is not None:
+            span = state.last_arrival - state.first_arrival
+        fps = state.frames / span if span > 0 else 0.0
+        mbps = state.payload_bytes * 8.0 / span / 1e6 if span > 0 else 0.0
+        expected = state.estimator.expected
+        loss = state.estimator.cumulative_lost / expected if expected else 0.0
+        rtt = (
+            sum(self.measured_rtts_ms) / len(self.measured_rtts_ms)
+            if self.measured_rtts_ms else None
+        )
+        return StreamStatistics(
+            origin=origin,
+            resolution=self.profile.video_resolution,
+            frame_rate_fps=fps,
+            receive_mbps=mbps,
+            packet_loss=loss,
+            jitter_ms=state.estimator.jitter_seconds * 1000.0,
+            rtt_ms=rtt,
+        )
+
+
+class RtcpAgent:
+    """Periodic RTCP SR+RR sender for one session participant."""
+
+    #: RTCP reporting interval (the usual 5% bandwidth rule lands around
+    #: seconds for these stream rates; the paper's panels update ~1 Hz).
+    INTERVAL_S = 1.0
+
+    def __init__(
+        self,
+        host: Host,
+        collector: MediaStatsCollector,
+        video_source,  # VideoSource; duck-typed to avoid an import cycle
+        target_address: str,
+        target_port: int,
+    ) -> None:
+        self.host = host
+        self.collector = collector
+        self.video_source = video_source
+        self.target_address = target_address
+        self.target_port = target_port
+        self.reports_sent = 0
+
+    def attach(self, sim: Simulator, until: Optional[float] = None) -> None:
+        """Schedule the periodic reports."""
+
+        def send_reports() -> None:
+            now = sim.now
+            blocks = tuple(self.collector.report_blocks())
+            sr = SenderReport(
+                ssrc=self.video_source.ssrc,
+                ntp_seconds=now,
+                rtp_timestamp=self.video_source.current_rtp_timestamp,
+                packet_count=self.video_source.packets_sent,
+                byte_count=self.video_source.payload_bytes_sent,
+                blocks=blocks,
+            )
+            self.collector.note_own_sender_report(now)
+            self.host.send(Packet(
+                src=self.host.address, dst=self.target_address,
+                src_port=40001, dst_port=self.target_port,
+                protocol=IPPROTO_UDP, payload=sr.pack(),
+                meta={"kind": "rtcp", "origin": self.host.address},
+            ))
+            self.reports_sent += 1
+
+        sim.schedule_every(self.INTERVAL_S, send_reports,
+                           start=self.INTERVAL_S, until=until)

@@ -1,0 +1,26 @@
+"""Shared fixtures: expensive artifacts built once per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.keypoints.motion import capture_session
+from repro.mesh.generate import head_mesh, persona_mesh
+
+
+@pytest.fixture(scope="session")
+def persona():
+    """The 78,030-triangle spatial persona mesh."""
+    return persona_mesh(seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_head():
+    """A small head mesh for cheap geometry tests."""
+    return head_mesh(2000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def motion_frames():
+    """100 frames of synthetic keypoint motion."""
+    return capture_session(100, fps=90, seed=3)

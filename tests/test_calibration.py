@@ -1,0 +1,114 @@
+"""The calibration constants must stay mutually consistent with the paper."""
+
+import math
+
+from repro import calibration
+
+
+class TestFrameTiming:
+    def test_deadline_matches_target_fps(self):
+        assert math.isclose(
+            calibration.FRAME_DEADLINE_MS, 1000.0 / 90.0, rel_tol=1e-9
+        )
+
+    def test_deadline_near_11_ms(self):
+        # The paper quotes ~11 ms / 11.1 ms for the 90 FPS budget.
+        assert 11.0 < calibration.FRAME_DEADLINE_MS < 11.2
+
+
+class TestTriangleTiers:
+    def test_viewport_reduction_is_extreme(self):
+        assert calibration.VIEWPORT_CULLED_TRIANGLES == 36
+        assert calibration.PERSONA_TRIANGLES == 78_030
+
+    def test_foveated_reduction_fraction(self):
+        # Sec. 4.4: foveated rendering cuts triangles by 73%.
+        reduction = 1 - calibration.FOVEATED_TRIANGLES / calibration.PERSONA_TRIANGLES
+        assert abs(reduction - 0.73) < 0.01
+
+    def test_distance_reduction_fraction(self):
+        # Sec. 4.4: distance LOD cuts triangles by 42%.
+        reduction = 1 - calibration.DISTANCE_TRIANGLES / calibration.PERSONA_TRIANGLES
+        assert abs(reduction - 0.42) < 0.01
+
+
+class TestGpuAnchors:
+    def test_viewport_gpu_reduction(self):
+        # Sec. 4.4: 59% GPU-time reduction out of viewport.
+        reduction = 1 - calibration.GPU_MS_VIEWPORT[0] / calibration.GPU_MS_BASELINE[0]
+        assert abs(reduction - 0.59) < 0.01
+
+    def test_foveated_gpu_reduction(self):
+        reduction = 1 - calibration.GPU_MS_FOVEATED[0] / calibration.GPU_MS_BASELINE[0]
+        assert abs(reduction - 0.39) < 0.01
+
+    def test_distance_gpu_reduction(self):
+        reduction = 1 - calibration.GPU_MS_DISTANCE[0] / calibration.GPU_MS_BASELINE[0]
+        assert abs(reduction - 0.40) < 0.01
+
+    def test_scalability_gpu_growth(self):
+        # Sec. 4.5: +34.9% GPU from 2 to 5 users.
+        growth = calibration.GPU_MS_FIVE_USERS[0] / calibration.GPU_MS_TWO_USERS[0] - 1
+        assert abs(growth - 0.349) < 0.005
+
+    def test_scalability_cpu_growth(self):
+        # Sec. 4.5: +19.2% CPU from 2 to 5 users.
+        growth = calibration.CPU_MS_FIVE_USERS[0] / calibration.CPU_MS_TWO_USERS[0] - 1
+        assert abs(growth - 0.192) < 0.005
+
+
+class TestSemanticConstants:
+    def test_keypoint_arithmetic(self):
+        # Sec. 4.3: 32 (mouth & eyes) + 2 x 21 (hands) = 74.
+        assert calibration.SEMANTIC_KEYPOINTS_TOTAL == 74
+        assert (
+            calibration.FACIAL_SEMANTIC_KEYPOINTS
+            + 2 * calibration.HAND_KEYPOINTS
+            == calibration.SEMANTIC_KEYPOINTS_TOTAL
+        )
+
+    def test_spatial_persona_under_700_kbps(self):
+        # Intro: bandwidth consumption < 0.7 Mbps.
+        assert calibration.SPATIAL_PERSONA_MBPS < 0.7
+
+    def test_spatial_cheaper_than_every_2d_persona(self):
+        for other in (
+            calibration.FACETIME_2D_MBPS,
+            calibration.ZOOM_MBPS,
+            calibration.WEBEX_MBPS,
+            calibration.TEAMS_MBPS,
+        ):
+            assert calibration.SPATIAL_PERSONA_MBPS < other
+
+
+class TestTable1Constants:
+    def test_matrix_shape(self):
+        assert len(calibration.TABLE1_COLUMNS) == 10
+        for region in ("W", "M", "E"):
+            assert len(calibration.TABLE1_RTT_MS[region]) == 10
+
+    def test_server_counts_match_columns(self):
+        from collections import Counter
+
+        per_vca = Counter(vca for vca, _ in calibration.TABLE1_COLUMNS)
+        assert dict(per_vca) == calibration.SERVER_COUNTS
+
+    def test_diagonal_cells_are_small(self):
+        # Users probing their own region's server see ~6-14 ms.
+        assert calibration.TABLE1_RTT_MS["W"][0] < 15  # W user, FaceTime W
+        assert calibration.TABLE1_RTT_MS["M"][1] < 15  # M user, FaceTime M1
+        assert calibration.TABLE1_RTT_MS["E"][3] < 15  # E user, FaceTime E
+
+
+class TestPaperStat:
+    def test_within_accepts_close_value(self):
+        stat = calibration.PAPER_STATS["gpu_ms_baseline"]
+        assert stat.within(stat.mean + stat.std)
+
+    def test_within_rejects_far_value(self):
+        stat = calibration.PAPER_STATS["gpu_ms_baseline"]
+        assert not stat.within(stat.mean + 10 * stat.std)
+
+    def test_all_stats_have_sources(self):
+        for stat in calibration.PAPER_STATS.values():
+            assert stat.source

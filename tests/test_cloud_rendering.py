@@ -1,0 +1,52 @@
+"""The A6 cloud-rendering tradeoff experiment."""
+
+import pytest
+
+from repro import calibration
+from repro.experiments import cloud_rendering
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cloud_rendering.run(duration_s=8.0, seed=0)
+
+
+class TestCloudRendering:
+    def test_local_holds_to_the_cap(self, result):
+        by_users = {p.n_users: p for p in result.points}
+        for n in (2, 3, 4, 5):
+            assert by_users[n].local_effective_fps > 85.0
+
+    def test_local_collapses_past_the_cap(self, result):
+        by_users = {p.n_users: p for p in result.points}
+        assert by_users[6].local_effective_fps < 80.0
+        assert by_users[8].local_gpu_ms > calibration.FRAME_DEADLINE_MS * 0.9
+
+    def test_cloud_removes_the_ceiling(self, result):
+        assert result.cloud_removes_gpu_ceiling()
+        by_users = {p.n_users: p for p in result.points}
+        assert by_users[8].cloud_effective_fps == pytest.approx(90.0, abs=1.0)
+
+    def test_cloud_pays_in_latency(self, result):
+        assert result.cloud_costs_interactivity()
+        by_users = {p.n_users: p for p in result.points}
+        # Local stays under the Sec. 4.3 bound; cloud carries the RTT.
+        assert by_users[5].local_viewport_latency_ms < \
+            calibration.DISPLAY_LATENCY_DIFF_BOUND_MS
+        assert by_users[5].cloud_viewport_latency_ms > \
+            2 * calibration.DISPLAY_LATENCY_DIFF_BOUND_MS
+
+    def test_cloud_pays_in_bandwidth_at_small_scale(self, result):
+        assert result.cloud_costs_bandwidth()
+
+    def test_semantic_downlink_grows_video_does_not(self, result):
+        by_users = {p.n_users: p for p in result.points}
+        assert by_users[8].local_downlink_mbps > \
+            by_users[2].local_downlink_mbps
+        assert by_users[8].cloud_downlink_mbps == \
+            by_users[2].cloud_downlink_mbps
+
+    def test_table_renders(self, result):
+        table = result.format_table()
+        assert "local/cloud" in table
+        assert len(table.splitlines()) == len(result.points) + 1

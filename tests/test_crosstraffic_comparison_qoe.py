@@ -1,0 +1,134 @@
+"""Cross-traffic sources, anchor validation, and the QoE study."""
+
+import pytest
+
+from repro.analysis.comparison import AnchorCheck, format_report
+from repro.experiments import qoe_study
+from repro.geo.regions import city
+from repro.netsim.crosstraffic import BulkTransferSource, OnOffBurstSource
+from repro.netsim.engine import Simulator
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.wifi import WiFiAccessPoint
+
+
+def constrained_pair(ap_mbps=30.0):
+    sim = Simulator()
+    network = Network(sim)
+    ap = WiFiAccessPoint(throughput_mbps=ap_mbps)
+    a = Host("10.0.0.2", city("san jose"))
+    b = Host("10.0.1.2", city("dallas"))
+    network.attach(a, ap=ap)
+    network.attach(b)
+    b.bind(58000, lambda p: None)
+    b.bind(58100, lambda p: None)
+    return sim, network, ap, a, b
+
+
+class TestBulkTransfer:
+    def test_backs_off_under_congestion(self):
+        sim, network, ap, a, b = constrained_pair(ap_mbps=30.0)
+        bulk = BulkTransferSource(rate_mbps=50.0, seed=0)
+        bulk.attach(sim, a, b.address)
+        sim.run(until=5.0)
+        assert bulk.packets_dropped > 0
+        assert bulk.rate_mbps < 50.0
+        achieved = ap.uplink.stats.bytes_sent * 8 / 5.0 / 1e6
+        assert achieved < 30.0
+
+    def test_uncongested_keeps_rate(self):
+        sim, network, ap, a, b = constrained_pair(ap_mbps=300.0)
+        bulk = BulkTransferSource(rate_mbps=20.0, seed=0)
+        bulk.attach(sim, a, b.address)
+        sim.run(until=3.0)
+        assert bulk.packets_dropped == 0
+        assert bulk.rate_mbps == 20.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BulkTransferSource(rate_mbps=0)
+
+    def test_persona_survives_heavy_cross_traffic(self):
+        # The semantic stream is tiny; even a near-saturating bulk flow on
+        # the same 300 Mbps AP leaves it intact.
+        from repro.core.testbed import default_two_user_testbed
+        from repro.vca.profiles import FACETIME
+
+        session = default_two_user_testbed().session(FACETIME, seed=0)
+        sink = Host("10.9.9.2", city("dallas"))
+        session.network.attach(sink)
+        sink.bind(58000, lambda p: None)
+        BulkTransferSource(rate_mbps=280.0, seed=1).attach(
+            session.sim, session.host_of("U1"), sink.address
+        )
+        result = session.run(8.0)
+        stats = result.receiver_of("U2").stats[result.addresses["U1"]]
+        assert stats.availability() > 0.95
+
+
+class TestOnOffBurst:
+    def test_produces_on_and_off_phases(self):
+        sim, network, ap, a, b = constrained_pair(ap_mbps=300.0)
+        source = OnOffBurstSource(burst_mbps=20.0, mean_on_s=0.3,
+                                  mean_off_s=0.3, seed=0)
+        cap = network.start_capture(a.address)
+        source.attach(sim, a, b.address)
+        sim.run(until=6.0)
+        assert source.packets_sent > 0
+        # Mean rate must sit well below the burst rate (off periods).
+        mean_mbps = cap.total_bytes() * 8 / 6.0 / 1e6
+        assert mean_mbps < 0.8 * 20.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OnOffBurstSource(burst_mbps=0)
+        with pytest.raises(ValueError):
+            OnOffBurstSource(mean_on_s=0)
+
+
+class TestAnchorCheck:
+    def test_within_band(self):
+        check = AnchorCheck("x", "Fig. 5", measured=6.6, paper_mean=6.55,
+                            paper_std=0.11)
+        assert check.within_band
+        assert check.error == pytest.approx(0.05)
+
+    def test_outside_band(self):
+        check = AnchorCheck("x", "Fig. 5", measured=9.0, paper_mean=6.55,
+                            paper_std=0.11)
+        assert not check.within_band
+
+    def test_report_formatting(self):
+        checks = [
+            AnchorCheck("a", "s", 1.0, 1.0, 0.1),
+            AnchorCheck("b", "s", 9.0, 1.0, 0.1),
+        ]
+        report = format_report(checks)
+        assert "1/2 anchors within band" in report
+        assert "OFF" in report
+
+
+class TestQoeStudy:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return qoe_study.run()
+
+    def test_three_scenarios(self, outcomes):
+        assert len(outcomes) == 3
+
+    def test_us_scenarios_high_qoe_either_way(self, outcomes):
+        for outcome in outcomes[:2]:
+            assert outcome.initiator_nearest_qoe > 0.9
+            assert outcome.worst_one_way_ms < 100.0
+
+    def test_intercontinental_needs_geo_distribution(self, outcomes):
+        world = outcomes[2]
+        # Sec. 4.1: one-way delay across continents exceeds the 100 ms
+        # threshold; geo-distribution recovers part of the QoE.
+        assert world.worst_one_way_ms > 100.0
+        assert world.initiator_nearest_qoe < 0.9
+        assert world.geo_distribution_helps
+
+    def test_table_renders(self, outcomes):
+        table = qoe_study.format_table(outcomes)
+        assert "Intercontinental" in table

@@ -1,0 +1,95 @@
+"""Device models and sensor capture simulation."""
+
+import pytest
+
+from repro import calibration
+from repro.capture.enrollment import EnrollmentError, PersonaEnrollment
+from repro.capture.rgbd import RgbdCamera
+from repro.capture.tracking import InCallTracker, TrackingError
+from repro.devices.models import (
+    CameraKind,
+    DeviceClass,
+    IPad,
+    IPhone,
+    MacBook,
+    VisionPro,
+    all_vision_pro,
+)
+
+
+class TestDevices:
+    def test_vision_pro_has_full_camera_suite(self):
+        # Fig. 2: main, tracking, TrueDepth, downward, internal cameras.
+        assert VisionPro().cameras == frozenset(CameraKind)
+
+    def test_vision_pro_display_is_90_fps(self):
+        assert VisionPro().display_fps == calibration.TARGET_FPS
+
+    def test_only_vision_pro_supports_spatial_persona(self):
+        assert VisionPro().supports_spatial_persona
+        for factory in (MacBook, IPad, IPhone):
+            assert not factory().supports_spatial_persona
+
+    def test_all_vision_pro_predicate(self):
+        assert all_vision_pro((VisionPro(), VisionPro()))
+        assert not all_vision_pro((VisionPro(), MacBook()))
+
+    def test_iphone_has_truedepth_but_no_spatial(self):
+        phone = IPhone()
+        assert CameraKind.TRUEDEPTH in phone.cameras
+        assert not phone.supports_spatial_persona
+
+    def test_device_classes_distinct(self):
+        classes = {d().device_class for d in (VisionPro, MacBook, IPad, IPhone)}
+        assert len(classes) == 4
+        assert classes == set(DeviceClass)
+
+
+class TestEnrollment:
+    def test_vision_pro_enrolls_persona(self):
+        persona = PersonaEnrollment(VisionPro()).enroll("u1")
+        assert persona.triangle_count == calibration.PERSONA_TRIANGLES
+
+    def test_macbook_cannot_enroll(self):
+        with pytest.raises(EnrollmentError):
+            PersonaEnrollment(MacBook()).enroll("u1")
+
+    def test_reconstructor_binds_to_mesh(self):
+        enrollment = PersonaEnrollment(VisionPro())
+        persona = enrollment.enroll("u1")
+        reconstructor = enrollment.build_reconstructor(persona)
+        assert reconstructor.template is persona.mesh
+
+    def test_seeds_give_distinct_personas(self):
+        import numpy as np
+
+        e = PersonaEnrollment(VisionPro())
+        a = e.enroll("u1", seed=0)
+        b = e.enroll("u2", seed=1)
+        assert not np.allclose(a.mesh.vertices, b.mesh.vertices)
+
+
+class TestTracking:
+    def test_vision_pro_tracks(self):
+        tracker = InCallTracker(VisionPro(), seed=0)
+        frames = list(tracker.frames(10))
+        assert len(frames) == 10
+        assert frames[0].semantic_points().shape == (74, 3)
+
+    def test_macbook_cannot_track(self):
+        with pytest.raises(TrackingError):
+            InCallTracker(MacBook())
+
+
+class TestRgbdCamera:
+    def test_default_matches_paper_capture(self):
+        camera = RgbdCamera(seed=0)
+        frames = camera.record(50)
+        assert len(frames) == 50
+
+    def test_paper_default_length(self):
+        assert calibration.RGBD_CAPTURE_FRAMES == 2000
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            RgbdCamera().record(0)

@@ -1,0 +1,55 @@
+"""Smoke-run the fast example scripts end to end.
+
+The examples are the library's public face; they must keep running as the
+APIs evolve.  Only the quick ones run here — the full reproduction script
+is exercised piecewise by the experiment suites.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "persona kind : spatial" in out
+        assert "protocol     : quic" in out
+        assert "poor connection: False" in out
+
+    def test_device_mix_study(self):
+        out = run_example("device_mix_study.py")
+        assert "quic" in out and "rtp" in out
+        assert "anycast: False" in out
+
+    def test_encrypted_traffic_inference(self):
+        out = run_example("encrypted_traffic_inference.py")
+        assert "-> semantic" in out
+        assert "-> video" in out
+        assert "-> mesh" in out
+
+    def test_shaped_network_probe(self):
+        out = run_example("shaped_network_probe.py")
+        assert "cutoff" in out
+        assert "700 Kbps" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for script in sorted(EXAMPLES.glob("*.py")):
+            source = script.read_text()
+            assert source.lstrip().startswith(
+                ('#!/usr/bin/env python3\n"""', '"""')
+            ), f"{script.name} missing docstring header"
+            assert 'if __name__ == "__main__":' in source, script.name

@@ -1,0 +1,107 @@
+"""Experiment reproductions: Table 1 and the Sec. 4.1 findings."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.devices.models import MacBook, VisionPro
+from repro.experiments import protocols, table1
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1.run(repeats=5, seed=0)
+
+
+class TestTable1:
+    def test_all_30_cells_measured(self, table1_result):
+        assert len(table1_result.cells) == 30
+
+    def test_stds_under_paper_bound(self, table1_result):
+        # Table 1 caption: the std of all results is < 7 ms.
+        assert table1_result.max_std_ms() < calibration.TABLE1_RTT_STD_BOUND_MS
+
+    def test_diagonal_cells_small(self, table1_result):
+        assert table1_result.mean_ms("W", "FaceTime", "W") < 15
+        assert table1_result.mean_ms("M", "FaceTime", "M1") < 15
+        assert table1_result.mean_ms("E", "FaceTime", "E") < 15
+
+    def test_cross_country_cells_high(self, table1_result):
+        # Sec. 4.1: ~80 ms for some participants.
+        assert table1_result.mean_ms("W", "FaceTime", "E") > 60
+        assert table1_result.mean_ms("E", "FaceTime", "W") > 60
+
+    def test_matrix_tracks_paper_within_tolerance(self, table1_result):
+        errors = [
+            abs(measured - paper)
+            for _, _, measured, paper in table1_result.paper_comparison()
+        ]
+        assert float(np.mean(errors)) < 8.0
+        assert max(errors) < 16.0
+
+    def test_row_ordering_mostly_preserved(self, table1_result):
+        # Within each row, near servers stay near and far stay far: rank
+        # correlation with the paper's row above 0.8.
+        from scipy.stats import spearmanr
+
+        for region in ("W", "M", "E"):
+            measured = table1_result.row(region)
+            paper = list(calibration.TABLE1_RTT_MS[region])
+            rho = spearmanr(measured, paper).statistic
+            assert rho > 0.8
+
+    def test_formatted_table_has_all_rows(self, table1_result):
+        text = table1_result.format_table()
+        for region in ("W", "M", "E"):
+            assert f"\n{region} " in text or text.startswith(f"{region} ")
+
+
+class TestProtocolFindings:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return protocols.run_protocol_matrix(seed=0)
+
+    def _find(self, matrix, vca, mix):
+        for obs in matrix:
+            if obs.vca == vca and obs.device_mix == mix:
+                return obs
+        raise AssertionError(f"missing {vca} {mix}")
+
+    def test_facetime_all_avp_is_quic(self, matrix):
+        obs = self._find(matrix, "FaceTime", "Vision Pro+Vision Pro")
+        assert obs.observed_protocol == "quic"
+        assert not obs.p2p
+
+    def test_facetime_mixed_is_rtp_p2p(self, matrix):
+        obs = self._find(matrix, "FaceTime", "Vision Pro+MacBook")
+        assert obs.observed_protocol == "rtp"
+        assert obs.p2p
+
+    def test_other_vcas_always_rtp(self, matrix):
+        for vca in ("Zoom", "Webex", "Teams"):
+            for mix in ("Vision Pro+Vision Pro", "Vision Pro+MacBook"):
+                assert self._find(matrix, vca, mix).observed_protocol == "rtp"
+
+    def test_zoom_p2p_webex_teams_relayed(self, matrix):
+        assert self._find(matrix, "Zoom", "Vision Pro+Vision Pro").p2p
+        assert not self._find(matrix, "Webex", "Vision Pro+Vision Pro").p2p
+        assert not self._find(matrix, "Teams", "Vision Pro+Vision Pro").p2p
+
+    def test_fallback_payload_type_matches_2d_calls(self):
+        # Sec. 4.1: the PT field stays consistent with traditional calls.
+        assert protocols.facetime_fallback_keeps_2d_payload_type(seed=0)
+
+    def test_server_selection_follows_initiator(self):
+        observations = protocols.run_server_selection()
+        facetime = {
+            o.initiator_city: o.selected_label
+            for o in observations if o.vca == "FaceTime"
+        }
+        assert facetime["san jose"] == "W"
+        assert facetime["washington"] == "E"
+
+    def test_no_anycast_anywhere(self):
+        verdicts = protocols.run_anycast_check(repeats=3, seed=0)
+        assert verdicts == {
+            "FaceTime": False, "Zoom": False, "Webex": False, "Teams": False
+        }

@@ -1,0 +1,148 @@
+"""Experiment reproductions: Fig. 5, Fig. 6, and the ablations."""
+
+import pytest
+
+from repro import calibration
+from repro.experiments import ablations, fig5, fig6
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5.run(frames_per_scenario=200, seed=0)
+
+
+class TestFig5:
+    def test_triangle_anchors_exact(self, fig5_result):
+        for name, (tri_paper, _) in fig5.PAPER_ANCHORS.items():
+            assert fig5_result.triangles[name] == tri_paper
+
+    def test_gpu_means_match_paper(self, fig5_result):
+        for name, (_, gpu_paper) in fig5.PAPER_ANCHORS.items():
+            assert fig5_result.gpu_ms[name].mean == pytest.approx(
+                gpu_paper, abs=0.15
+            )
+
+    def test_gpu_stds_tight_like_paper(self, fig5_result):
+        # Fig. 5 stds are 0.05-0.11 ms in the controlled scenarios.
+        for name in fig5.SCENARIOS:
+            assert fig5_result.gpu_ms[name].std < 0.2
+
+    def test_reduction_percentages(self, fig5_result):
+        reductions = fig5_result.reductions_vs_baseline()
+        assert reductions["V"] == pytest.approx(0.59, abs=0.03)
+        assert reductions["F"] == pytest.approx(0.39, abs=0.03)
+        assert reductions["D"] == pytest.approx(0.40, abs=0.03)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            fig5.scenario_scene("X")
+
+
+class TestOcclusionFinding:
+    def test_facetime_does_not_occlusion_cull(self):
+        result = fig5.run_occlusion(occlusion_aware=False)
+        assert result.line_triangles == result.spread_triangles
+        assert not result.optimization_adopted()
+
+    def test_ablation_a3_shows_the_headroom(self):
+        result = fig5.run_occlusion(occlusion_aware=True)
+        assert result.optimization_adopted()
+        assert result.line_triangles == calibration.PERSONA_TRIANGLES
+
+
+class TestDeliveryInvariance:
+    def test_bandwidth_and_cpu_visibility_oblivious(self):
+        result = fig5.run_delivery_invariance(seed=0)
+        assert result.bandwidth_unchanged()
+        assert result.cpu_unchanged()
+
+
+@pytest.fixture(scope="module")
+def fig6_render():
+    return fig6.run_rendering(duration_s=25.0, repeats=2, seed=0)
+
+
+class TestFig6Rendering:
+    def test_gpu_anchor_two_users(self, fig6_render):
+        paper_mean, paper_std = calibration.GPU_MS_TWO_USERS
+        assert fig6_render.gpu_ms[2].mean == pytest.approx(
+            paper_mean, abs=2 * paper_std
+        )
+
+    def test_gpu_anchor_five_users(self, fig6_render):
+        paper_mean, paper_std = calibration.GPU_MS_FIVE_USERS
+        assert fig6_render.gpu_ms[5].mean == pytest.approx(
+            paper_mean, abs=paper_std
+        )
+
+    def test_cpu_anchors(self, fig6_render):
+        assert fig6_render.cpu_ms[2].mean == pytest.approx(
+            calibration.CPU_MS_TWO_USERS[0], abs=0.3
+        )
+        assert fig6_render.cpu_ms[5].mean == pytest.approx(
+            calibration.CPU_MS_FIVE_USERS[0], abs=0.5
+        )
+
+    def test_gpu_grows_monotonically(self, fig6_render):
+        means = [fig6_render.gpu_ms[n].mean for n in fig6.USER_COUNTS]
+        assert all(a < b for a, b in zip(means, means[1:]))
+
+    def test_gpu_p95_near_deadline_at_five(self, fig6_render):
+        # Sec. 4.5: the 95th percentile exceeds 9 ms with five users,
+        # approaching the ~11 ms budget.
+        assert fig6_render.gpu_approaches_deadline()
+        assert fig6_render.gpu_ms[5].p95 < calibration.FRAME_DEADLINE_MS + 2
+
+    def test_triangles_grow(self, fig6_render):
+        assert fig6_render.triangles_grow_with_users()
+
+    def test_p5_flattens(self, fig6_render):
+        # Fig. 6(a): the 5th percentile grows far slower than the mean.
+        assert fig6_render.p5_grows_slower_than_mean()
+
+
+class TestFig6Network:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return fig6.run_network(duration_s=8.0, repeats=2, seed=0)
+
+    def test_downlink_linear_in_users(self, network):
+        assert network.grows_linearly()
+
+    def test_two_user_downlink_is_one_stream(self, network):
+        assert network.downlink_mbps[2].mean == pytest.approx(
+            calibration.SPATIAL_PERSONA_MBPS, abs=0.1
+        )
+
+    def test_five_user_downlink_is_four_streams(self, network):
+        assert network.downlink_mbps[5].mean == pytest.approx(
+            4 * calibration.SPATIAL_PERSONA_MBPS, rel=0.15
+        )
+
+
+class TestAblations:
+    def test_a1_delivery_culling_saves_bandwidth(self):
+        result = ablations.run_delivery_culling(n_users=5, duration_s=20.0)
+        assert 0.02 < result.savings_fraction < 0.6
+        assert result.culled_mbps < result.baseline_mbps
+
+    def test_a1_baseline_is_linear_forwarding(self):
+        result = ablations.run_delivery_culling(n_users=4, duration_s=10.0)
+        assert result.baseline_mbps == pytest.approx(
+            3 * calibration.SPATIAL_PERSONA_MBPS
+        )
+
+    def test_a1_validates_users(self):
+        with pytest.raises(ValueError):
+            ablations.run_delivery_culling(n_users=1)
+
+    def test_a2_geo_distribution_helps(self):
+        for result in ablations.run_server_policies():
+            assert result.geo_distributed_ms < result.initiator_nearest_ms
+            assert result.improvement_fraction > 0.1
+
+    def test_a2_intercontinental_exceeds_qoe_threshold(self):
+        # Sec. 4.1: one-way Europe-Asia already exceeds the 100 ms QoE
+        # threshold, so the worst pair RTT far exceeds 200 ms.
+        world = ablations.run_server_policies()[1]
+        assert world.initiator_nearest_ms > 200

@@ -1,0 +1,110 @@
+"""Experiment reproductions: Fig. 4 and the Sec. 4.3 content analysis."""
+
+import pytest
+
+from repro import calibration
+from repro.experiments import content_delivery, fig4, rate_adaptation
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return fig4.run(duration_s=12.0, repeats=2, seed=0)
+
+
+class TestFig4:
+    def test_spatial_is_cheapest(self, fig4_result):
+        means = {k: v.mean for k, v in fig4_result.summaries.items()}
+        assert means["F"] == min(means.values())
+
+    def test_headline_ordering(self, fig4_result):
+        # Fig. 4: F < Z < F* < T < W.
+        assert fig4_result.ordering_holds()
+
+    def test_spatial_under_intro_bound(self, fig4_result):
+        assert fig4_result.summaries["F"].mean < 0.7
+
+    def test_webex_over_four_mbps(self, fig4_result):
+        assert fig4_result.summaries["W"].mean > 4.0
+
+    def test_anchor_means(self, fig4_result):
+        for label, target in fig4.PAPER_MEANS_MBPS.items():
+            assert fig4_result.summaries[label].mean == pytest.approx(
+                target, rel=0.15
+            )
+
+    def test_format_table_lists_all_configurations(self, fig4_result):
+        table = fig4_result.format_table()
+        for label in fig4.CONFIGURATIONS:
+            assert f"\n{label:4s}" in table or label in table
+
+
+class TestMeshStreaming:
+    def test_bitrate_matches_paper(self):
+        result = content_delivery.run_mesh_streaming(seed=0)
+        paper_mean, paper_std = calibration.DRACO_STREAMING_MBPS
+        assert result.summary.mean == pytest.approx(paper_mean, abs=2 * paper_std)
+
+    def test_elimination_argument(self):
+        assert content_delivery.run_mesh_streaming(seed=0).dwarfs_spatial_persona()
+
+    def test_five_meshes(self):
+        assert len(content_delivery.run_mesh_streaming(seed=0).per_mesh_mbps) == 5
+
+
+class TestKeypointStreaming:
+    def test_rate_matches_paper(self):
+        result = content_delivery.run_keypoint_streaming(frames=400, seed=0)
+        paper_mean, paper_std = calibration.KEYPOINT_STREAMING_MBPS
+        assert result.mbps.mean == pytest.approx(paper_mean, abs=3 * paper_std)
+
+    def test_rate_matches_persona_stream(self):
+        result = content_delivery.run_keypoint_streaming(frames=400, seed=0)
+        assert result.matches_spatial_persona(tolerance_mbps=0.1)
+
+
+class TestDisplayLatency:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return content_delivery.run_display_latency(seed=0)
+
+    def test_local_reconstruction_invariant(self, sweep):
+        # Sec. 4.3: the difference stays < 16 ms at any injected delay.
+        assert sweep.local_mode_invariant()
+
+    def test_sender_rendered_tracks_delay(self, sweep):
+        assert sweep.remote_mode_tracks_delay()
+
+    def test_sweep_covers_paper_range(self, sweep):
+        delays = [d for d, _ in sweep.series["local"]]
+        assert min(delays) == 0.0
+        assert max(delays) == 1000.0
+
+
+class TestRateAdaptation:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return rate_adaptation.run(
+            limits_kbps=(2000.0, 1000.0, 700.0, 600.0, 400.0),
+            duration_s=8.0, seed=0,
+        )
+
+    def test_cutoff_at_700_kbps(self, sweep):
+        assert sweep.cutoff_kbps() == calibration.RATE_ADAPTATION_CUTOFF_KBPS
+
+    def test_no_rate_adaptation(self, sweep):
+        # The sender never lowers its offered rate (Sec. 4.3).
+        assert sweep.no_rate_adaptation()
+
+    def test_generous_limits_healthy(self, sweep):
+        by_limit = {p.limit_kbps: p for p in sweep.points}
+        assert not by_limit[2000.0].poor_connection
+        assert by_limit[2000.0].availability > 0.97
+
+    def test_starved_limits_fail(self, sweep):
+        by_limit = {p.limit_kbps: p for p in sweep.points}
+        assert by_limit[400.0].poor_connection
+        assert by_limit[400.0].availability < 0.8
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            rate_adaptation.measure_at_limit(0.0)

@@ -1,0 +1,72 @@
+"""Geometry of the geography substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.coords import EARTH_RADIUS_KM, GeoPoint, haversine_km
+
+NYC = GeoPoint("New York", 40.7128, -74.0060)
+LA = GeoPoint("Los Angeles", 34.0522, -118.2437)
+LONDON = GeoPoint("London", 51.5074, -0.1278)
+
+
+class TestGeoPoint:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint("x", 91.0, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint("x", 0.0, 181.0)
+
+    def test_distance_method_matches_function(self):
+        assert NYC.distance_km(LA) == haversine_km(NYC, LA)
+
+
+class TestHaversine:
+    def test_nyc_la_distance(self):
+        # Great-circle NYC-LA is ~3,936 km.
+        assert haversine_km(NYC, LA) == pytest.approx(3936, rel=0.02)
+
+    def test_nyc_london_distance(self):
+        # ~5,570 km.
+        assert haversine_km(NYC, LONDON) == pytest.approx(5570, rel=0.02)
+
+    def test_zero_distance(self):
+        assert haversine_km(NYC, NYC) == 0.0
+
+    def test_antipodal_bound(self):
+        a = GeoPoint("a", 0.0, 0.0)
+        b = GeoPoint("b", 0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+
+geo_points = st.builds(
+    GeoPoint,
+    st.just("p"),
+    st.floats(min_value=-90, max_value=90, allow_nan=False),
+    st.floats(min_value=-180, max_value=180, allow_nan=False),
+)
+
+
+class TestHaversineProperties:
+    @given(geo_points, geo_points)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), abs=1e-9)
+
+    @given(geo_points, geo_points)
+    def test_non_negative_and_bounded(self, a, b):
+        d = haversine_km(a, b)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(geo_points, geo_points, geo_points)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= (
+            haversine_km(a, b) + haversine_km(b, c) + 1e-6
+        )
+
+    @given(geo_points)
+    def test_identity(self, a):
+        assert haversine_km(a, a) == 0.0

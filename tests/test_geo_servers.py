@@ -1,0 +1,135 @@
+"""Server fleets, selection policy, geolocation, anycast detection."""
+
+import pytest
+
+from repro import calibration
+from repro.geo.coords import GeoPoint
+from repro.geo.geolocate import AnycastProbe, GeoDatabase, default_database
+from repro.geo.regions import city
+from repro.geo.servers import ALL_FLEETS, ServerFleet, build_fleet
+
+
+class TestFleets:
+    def test_server_counts_match_paper(self):
+        # Sec. 4.1: FaceTime 4, Zoom 2, Webex 3, Teams 1 US servers.
+        for vca, count in calibration.SERVER_COUNTS.items():
+            assert len(ALL_FLEETS[vca].servers) == count
+
+    def test_unknown_vca_rejected(self):
+        with pytest.raises(KeyError):
+            build_fleet("Skype")
+
+    def test_by_label(self):
+        assert ALL_FLEETS["FaceTime"].by_label("M2").location.name.startswith(
+            "Chicago"
+        )
+        with pytest.raises(KeyError):
+            ALL_FLEETS["Teams"].by_label("E")
+
+    def test_unique_addresses_across_all_fleets(self):
+        addresses = [
+            s.address for f in ALL_FLEETS.values() for s in f.servers
+        ]
+        assert len(addresses) == len(set(addresses))
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            ServerFleet("X", [])
+
+    def test_region_from_label(self):
+        from repro.geo.regions import Region
+
+        assert ALL_FLEETS["FaceTime"].by_label("M1").region is Region.MIDDLE
+
+
+class TestSelectionPolicy:
+    def test_nearest_to_initiator(self):
+        fleet = ALL_FLEETS["FaceTime"]
+        server = fleet.select_for_session(city("washington"), [])
+        assert server.label == "E"
+
+    def test_other_participants_ignored(self):
+        # Sec. 4.1: the server follows the initiator only.
+        fleet = ALL_FLEETS["FaceTime"]
+        west_heavy = [city("san jose"), city("seattle")]
+        server = fleet.select_for_session(city("washington"), west_heavy)
+        assert server.label == "E"
+
+    def test_single_server_provider_always_same(self):
+        fleet = ALL_FLEETS["Teams"]
+        for c in ("san jose", "dallas", "washington"):
+            assert fleet.select_for_session(city(c), []).label == "W"
+
+    def test_initiator_rotation_changes_server(self):
+        fleet = ALL_FLEETS["Zoom"]
+        west = fleet.select_for_session(city("san jose"), [])
+        east = fleet.select_for_session(city("washington"), [])
+        assert west.label != east.label
+
+
+class TestPairRtt:
+    def test_geo_distribution_helps_coast_to_coast(self):
+        fleet = ALL_FLEETS["FaceTime"]
+        participants = [city("san jose"), city("washington")]
+        single = fleet.worst_pair_rtt_ms(city("washington"), participants)
+        distributed = fleet.worst_pair_rtt_ms_geo_distributed(
+            participants, backbone_speedup=1.5
+        )
+        assert distributed < single
+
+    def test_backbone_speedup_validation(self):
+        fleet = ALL_FLEETS["FaceTime"]
+        with pytest.raises(ValueError):
+            fleet.worst_pair_rtt_ms_geo_distributed([city("dallas")], 0.5)
+
+    def test_attachments_pick_nearest(self):
+        fleet = ALL_FLEETS["Webex"]
+        attach = fleet.geo_distributed_attachments(
+            [city("san jose"), city("washington")]
+        )
+        assert attach[city("san jose")].label == "W"
+        assert attach[city("washington")].label == "E"
+
+
+class TestGeoDatabase:
+    def test_lookup_error_is_city_level(self):
+        db = default_database()
+        server = ALL_FLEETS["FaceTime"].by_label("W")
+        located = db.lookup(server.address)
+        assert located.distance_km(server.location) < 60
+
+    def test_lookup_is_deterministic(self):
+        db = default_database()
+        address = ALL_FLEETS["Zoom"].by_label("E").address
+        a, b = db.lookup(address), db.lookup(address)
+        assert (a.lat, a.lon) == (b.lat, b.lon)
+
+    def test_unknown_address_raises(self):
+        with pytest.raises(KeyError):
+            GeoDatabase().lookup("203.0.113.9")
+
+
+class TestAnycastProbe:
+    def test_unicast_servers_pass(self):
+        probe = AnycastProbe()
+        server = ALL_FLEETS["FaceTime"].by_label("M1")
+        rtts = probe.probe_server(
+            server, [city("san jose"), city("washington")], seed=1
+        )
+        assert not probe.is_anycast(rtts)
+
+    def test_synthetic_anycast_detected(self):
+        # Two distant vantage points both reporting tiny RTTs is
+        # geometrically impossible for a single unicast location.
+        probe = AnycastProbe()
+        fake = [(city("san jose"), 3.0), (city("washington"), 3.0)]
+        assert probe.is_anycast(fake)
+
+    def test_feasibility_bound_is_conservative(self):
+        probe = AnycastProbe()
+        a, b = city("san jose"), city("washington")
+        bound = probe.min_feasible_rtt_sum_ms(a, b)
+        # The bound must not exceed the inflated model RTT.
+        from repro.geo.latency import rtt_ms
+
+        assert bound < rtt_ms(a, b)

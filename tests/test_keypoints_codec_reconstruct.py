@@ -1,0 +1,163 @@
+"""Semantic codec and persona reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.keypoints.codec import EncodedKeypointFrame, SemanticCodec
+from repro.keypoints.reconstruct import (
+    SEMANTIC_GROUPS,
+    PersonaReconstructor,
+    ReconstructionError,
+    check_semantic_frame,
+    frame_is_reconstructible,
+)
+from repro.mesh.generate import head_mesh
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return SemanticCodec(seed=0)
+
+
+class TestCodecRoundtrip:
+    def test_points_roundtrip(self, codec, motion_frames):
+        frame = motion_frames[0]
+        decoded = codec.decode(codec.encode(frame))
+        assert np.allclose(
+            decoded.points, frame.semantic_points().astype(np.float32)
+        )
+        assert decoded.index == frame.index
+        assert decoded.timestamp == pytest.approx(frame.timestamp)
+
+    def test_visibility_roundtrip(self, codec, motion_frames):
+        vis = np.ones(74, dtype=bool)
+        vis[::3] = False
+        decoded = codec.decode(codec.encode(motion_frames[0], visibility=vis))
+        assert np.array_equal(decoded.visibility, vis)
+
+    def test_confidence_roundtrip(self, codec, motion_frames):
+        conf = np.arange(74, dtype=np.uint8) + 100
+        decoded = codec.decode(
+            codec.encode(motion_frames[0], confidence=conf)
+        )
+        assert np.array_equal(decoded.confidence, conf)
+
+    def test_without_confidence_defaults_to_full(self, codec, motion_frames):
+        decoded = codec.decode(
+            codec.encode(motion_frames[0], include_confidence=False)
+        )
+        assert (decoded.confidence == 255).all()
+
+    def test_no_confidence_is_smaller(self, codec, motion_frames):
+        with_conf = codec.encode(motion_frames[0], include_confidence=True)
+        without = codec.encode(motion_frames[1], include_confidence=False)
+        assert without.byte_size < with_conf.byte_size
+
+    def test_corrupt_payload_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(EncodedKeypointFrame(b"\x00\x01garbage"))
+
+    def test_truncated_payload_rejected(self, codec, motion_frames):
+        import lzma
+
+        good = codec.encode(motion_frames[0]).payload
+        filters = [{"id": lzma.FILTER_LZMA2, "preset": 0}]
+        raw = lzma.decompress(good, format=lzma.FORMAT_RAW, filters=filters)
+        truncated = lzma.compress(raw[:40], format=lzma.FORMAT_RAW,
+                                  filters=filters)
+        with pytest.raises(ValueError):
+            codec.decode(EncodedKeypointFrame(truncated))
+
+    def test_visibility_shape_validated(self, codec, motion_frames):
+        with pytest.raises(ValueError):
+            codec.encode(motion_frames[0], visibility=np.ones(10, bool))
+
+
+class TestCodecBitrate:
+    def test_experiment_rate_matches_paper(self, codec, motion_frames):
+        # Sec. 4.3: 0.64 +/- 0.02 Mbps with the confidence channel.
+        sizes = [codec.encode(f).byte_size for f in motion_frames]
+        mbps = np.mean(sizes) * 8 * calibration.TARGET_FPS / 1e6
+        paper_mean, paper_std = calibration.KEYPOINT_STREAMING_MBPS
+        assert abs(mbps - paper_mean) < 3 * paper_std
+
+    def test_production_rate_under_intro_bound(self, codec, motion_frames):
+        # Intro: spatial persona consumes < 0.7 Mbps.
+        sizes = [
+            codec.encode(f, include_confidence=False).byte_size
+            for f in motion_frames
+        ]
+        mbps = np.mean(sizes) * 8 * calibration.TARGET_FPS / 1e6
+        assert mbps < 0.7
+
+
+class TestGroupChecks:
+    def test_groups_partition_the_74_points(self):
+        covered = sorted(
+            i for s in SEMANTIC_GROUPS.values()
+            for i in range(s.start, s.stop)
+        )
+        assert covered == list(range(74))
+
+    def test_full_frame_reconstructible(self, codec, motion_frames):
+        decoded = codec.decode(codec.encode(motion_frames[0]))
+        assert frame_is_reconstructible(decoded)
+
+    @pytest.mark.parametrize("group", list(SEMANTIC_GROUPS))
+    def test_each_missing_group_fails(self, codec, motion_frames, group):
+        vis = np.ones(74, dtype=bool)
+        vis[SEMANTIC_GROUPS[group]] = False
+        decoded = codec.decode(codec.encode(motion_frames[0], visibility=vis))
+        with pytest.raises(ReconstructionError, match=group):
+            check_semantic_frame(decoded)
+
+    def test_partial_group_loss_tolerated(self, codec, motion_frames):
+        vis = np.ones(74, dtype=bool)
+        vis[12] = False  # one mouth point of twenty
+        decoded = codec.decode(codec.encode(motion_frames[0], visibility=vis))
+        assert frame_is_reconstructible(decoded)
+
+    def test_non_finite_points_fail(self, codec, motion_frames):
+        decoded = codec.decode(codec.encode(motion_frames[0]))
+        decoded.points[0, 0] = np.nan
+        assert not frame_is_reconstructible(decoded)
+
+
+class TestReconstructor:
+    @pytest.fixture(scope="class")
+    def reconstructor(self):
+        return PersonaReconstructor(head_mesh(2000, seed=0))
+
+    def test_reconstruction_preserves_topology(self, reconstructor, codec,
+                                               motion_frames):
+        decoded = codec.decode(codec.encode(motion_frames[0]))
+        mesh = reconstructor.reconstruct(decoded)
+        assert mesh.triangle_count == reconstructor.template.triangle_count
+
+    def test_motion_moves_vertices(self, reconstructor, codec, motion_frames):
+        a = reconstructor.reconstruct(codec.decode(codec.encode(motion_frames[0])))
+        b = reconstructor.reconstruct(codec.decode(codec.encode(motion_frames[50])))
+        assert not np.allclose(a.vertices, b.vertices)
+
+    def test_failure_counters(self, codec, motion_frames):
+        rec = PersonaReconstructor(head_mesh(2000, seed=1))
+        vis = np.ones(74, dtype=bool)
+        vis[0:12] = False  # eyes missing
+        bad = codec.decode(codec.encode(motion_frames[0], visibility=vis))
+        with pytest.raises(ReconstructionError):
+            rec.reconstruct(bad)
+        good = codec.decode(codec.encode(motion_frames[1]))
+        rec.reconstruct(good)
+        assert rec.frames_failed == 1
+        assert rec.frames_reconstructed == 1
+
+    def test_reference_reconstruction(self, reconstructor, motion_frames):
+        mesh = reconstructor.reconstruct_reference(motion_frames[0])
+        assert mesh.triangle_count == reconstructor.template.triangle_count
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PersonaReconstructor(head_mesh(2000), falloff_m=0)
+        with pytest.raises(ValueError):
+            PersonaReconstructor(head_mesh(2000), min_group_coverage=0)

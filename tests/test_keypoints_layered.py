@@ -1,0 +1,147 @@
+"""Layered semantic codec and adaptive selection (ablation A4)."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.keypoints.codec import EncodedKeypointFrame
+from repro.keypoints.layered import (
+    AdaptiveLayerSelector,
+    Layer,
+    LayeredSemanticCodec,
+)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return LayeredSemanticCodec(seed=0)
+
+
+class TestLayeredEncoding:
+    def test_layer_sizes_ordered(self, codec, motion_frames):
+        frame = motion_frames[0]
+        sizes = {
+            layer: codec.encode(frame, layer).byte_size for layer in Layer
+        }
+        assert sizes[Layer.BASE] < sizes[Layer.STANDARD] < sizes[Layer.FULL]
+
+    def test_base_rate_well_under_cutoff(self, codec, motion_frames):
+        sizes = [
+            codec.encode(f, Layer.BASE).byte_size for f in motion_frames
+        ]
+        mbps = np.mean(sizes) * 8 * calibration.TARGET_FPS / 1e6
+        assert mbps < 0.3  # far below the 700 Kbps FaceTime cliff
+
+    def test_full_rate_matches_flat_codec(self, codec, motion_frames):
+        sizes = [
+            codec.encode(f, Layer.FULL).byte_size for f in motion_frames
+        ]
+        mbps = np.mean(sizes) * 8 * calibration.TARGET_FPS / 1e6
+        assert mbps == pytest.approx(0.65, abs=0.05)
+
+    def test_layer_values_truthy(self):
+        # select() returns Optional[Layer]; a falsy member would break it.
+        assert all(bool(layer) for layer in Layer)
+
+
+class TestLayeredDecoding:
+    def test_full_roundtrip_exact(self, codec, motion_frames):
+        frame = motion_frames[0]
+        decoded = codec.decode(codec.encode(frame, Layer.FULL))
+        assert decoded.layer is Layer.FULL
+        assert not decoded.degraded
+        assert np.allclose(
+            decoded.points, frame.semantic_points().astype(np.float32)
+        )
+
+    def test_standard_facial_exact_hands_float16(self, codec, motion_frames):
+        frame = motion_frames[0]
+        decoded = codec.decode(codec.encode(frame, Layer.STANDARD))
+        truth = frame.semantic_points().astype(np.float32)
+        assert np.allclose(decoded.points[:32], truth[:32])
+        assert np.allclose(decoded.points[32:], truth[32:], atol=1e-3)
+        assert not decoded.degraded
+
+    def test_base_freezes_hands_at_rest(self, codec, motion_frames):
+        frame = motion_frames[0]
+        decoded = codec.decode(codec.encode(frame, Layer.BASE))
+        assert decoded.degraded
+        assert decoded.layer is Layer.BASE
+        from repro.keypoints.schema import TEMPLATES
+
+        rest = np.concatenate(
+            [TEMPLATES["left_hand"], TEMPLATES["right_hand"]]
+        ).astype(np.float32)
+        assert np.allclose(decoded.points[32:], rest)
+
+    def test_base_facial_precision_millimeter(self, codec, motion_frames):
+        frame = motion_frames[0]
+        decoded = codec.decode(codec.encode(frame, Layer.BASE))
+        truth = frame.semantic_points().astype(np.float32)[:32]
+        assert np.abs(decoded.points[:32] - truth).max() < 1e-3
+
+    def test_corrupt_payload_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(EncodedKeypointFrame(b"\x01garbage"))
+
+    def test_metadata_preserved(self, codec, motion_frames):
+        frame = motion_frames[7]
+        decoded = codec.decode(codec.encode(frame, Layer.STANDARD))
+        assert decoded.index == frame.index
+        assert decoded.timestamp == pytest.approx(frame.timestamp)
+
+
+class TestAdaptiveSelector:
+    @pytest.fixture(scope="class")
+    def selector(self):
+        return AdaptiveLayerSelector(LayeredSemanticCodec(seed=0))
+
+    def test_rates_profiled_in_order(self, selector):
+        assert (
+            selector.layer_mbps[Layer.BASE]
+            < selector.layer_mbps[Layer.STANDARD]
+            < selector.layer_mbps[Layer.FULL]
+        )
+
+    def test_generous_rate_picks_full(self, selector):
+        assert selector.select(2.0) is Layer.FULL
+
+    def test_medium_rate_picks_standard(self, selector):
+        assert selector.select(0.6) is Layer.STANDARD
+
+    def test_tight_rate_picks_base(self, selector):
+        assert selector.select(0.3) is Layer.BASE
+
+    def test_starved_rate_picks_nothing(self, selector):
+        assert selector.select(0.05) is None
+
+    def test_headroom_respected(self):
+        tight = AdaptiveLayerSelector(LayeredSemanticCodec(seed=0),
+                                      headroom=0.5)
+        generous = AdaptiveLayerSelector(LayeredSemanticCodec(seed=0),
+                                         headroom=1.0)
+        rate = tight.layer_mbps[Layer.FULL] * 1.1
+        assert generous.select(rate) is Layer.FULL
+        assert tight.select(rate) is not Layer.FULL
+
+    def test_negative_rate_rejected(self, selector):
+        with pytest.raises(ValueError):
+            selector.select(-1.0)
+
+    def test_invalid_headroom(self):
+        with pytest.raises(ValueError):
+            AdaptiveLayerSelector(LayeredSemanticCodec(), headroom=0.0)
+
+
+class TestLayeredAblation:
+    def test_survives_below_facetime_cutoff(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_layered_codec(
+            limits_kbps=(600.0, 300.0, 100.0), duration_s=4.0, seed=0
+        )
+        by_limit = {p.limit_kbps: p for p in result.points}
+        assert by_limit[600.0].availability >= 0.9
+        assert by_limit[300.0].availability >= 0.9
+        assert by_limit[300.0].degraded
+        assert by_limit[100.0].availability == 0.0

@@ -1,0 +1,111 @@
+"""Keypoint schemas and the synthetic motion generator."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.keypoints.motion import KeypointFrame, MotionSynthesizer, capture_session
+from repro.keypoints.schema import (
+    SEMANTIC_FACIAL_INDICES,
+    TEMPLATES,
+    FacialLandmarks,
+    HandLandmarks,
+    semantic_subset,
+)
+
+
+class TestSchema:
+    def test_dlib_layout_covers_68(self):
+        f = FacialLandmarks()
+        ranges = [f.JAW, f.RIGHT_BROW, f.LEFT_BROW, f.NOSE,
+                  f.RIGHT_EYE, f.LEFT_EYE, f.MOUTH]
+        covered = sorted(i for lo, hi in ranges for i in range(lo, hi))
+        assert covered == list(range(68))
+
+    def test_semantic_subset_is_32(self):
+        assert len(SEMANTIC_FACIAL_INDICES) == 32
+
+    def test_semantic_subset_is_eyes_and_mouth(self):
+        f = FacialLandmarks()
+        eyes = set(range(*f.RIGHT_EYE)) | set(range(*f.LEFT_EYE))
+        mouth = set(range(*f.MOUTH))
+        assert set(SEMANTIC_FACIAL_INDICES.tolist()) == eyes | mouth
+
+    def test_semantic_subset_shape_validation(self):
+        with pytest.raises(ValueError):
+            semantic_subset(np.zeros((60, 3)))
+
+    def test_hand_template_has_21_points(self):
+        assert TEMPLATES["left_hand"].shape == (HandLandmarks.TOTAL, 3)
+        assert TEMPLATES["right_hand"].shape == (21, 3)
+
+    def test_hands_are_on_opposite_sides(self):
+        left = TEMPLATES["left_hand"]
+        right = TEMPLATES["right_hand"]
+        assert np.allclose(left[0], right[0] * np.array([1, -1, 1]))  # wrists
+        assert left[:, 1].mean() == pytest.approx(-right[:, 1].mean(), rel=0.1)
+
+    def test_face_template_anatomy(self):
+        face = TEMPLATES["face"]
+        f = FacialLandmarks()
+        eyes_z = face[f.RIGHT_EYE[0]:f.RIGHT_EYE[1], 2].mean()
+        mouth_z = face[f.MOUTH[0]:f.MOUTH[1], 2].mean()
+        assert eyes_z > mouth_z  # eyes above the mouth
+
+
+class TestMotion:
+    def test_frame_shapes(self, motion_frames):
+        frame = motion_frames[0]
+        assert frame.face.shape == (68, 3)
+        assert frame.left_hand.shape == (21, 3)
+        assert frame.right_hand.shape == (21, 3)
+
+    def test_semantic_points_count(self, motion_frames):
+        assert motion_frames[0].semantic_points().shape == (
+            calibration.SEMANTIC_KEYPOINTS_TOTAL, 3
+        )
+
+    def test_timestamps_follow_fps(self, motion_frames):
+        dt = motion_frames[1].timestamp - motion_frames[0].timestamp
+        assert dt == pytest.approx(1.0 / 90.0)
+
+    def test_deterministic_per_seed(self):
+        a = capture_session(10, seed=4)
+        b = capture_session(10, seed=4)
+        assert np.array_equal(a[5].face, b[5].face)
+
+    def test_distinct_seeds_distinct_motion(self):
+        a = capture_session(10, seed=1)
+        b = capture_session(10, seed=2)
+        assert not np.allclose(a[5].face, b[5].face)
+
+    def test_motion_is_bounded(self):
+        # Ornstein-Uhlenbeck head pose must not random-walk away.
+        frames = capture_session(900, seed=0)
+        face_centers = np.array([f.face.mean(axis=0) for f in frames])
+        assert np.abs(face_centers).max() < 1.0  # stays within a meter
+
+    def test_motion_is_smooth(self):
+        frames = capture_session(200, seed=0)
+        centers = np.array([f.face.mean(axis=0) for f in frames])
+        step = np.linalg.norm(np.diff(centers, axis=0), axis=1)
+        assert step.max() < 0.05  # < 5 cm per 90 FPS frame
+
+    def test_blinks_occur(self):
+        # Eye ring height collapses during a blink at least once in 10 s.
+        frames = capture_session(900, seed=2)
+        f = FacialLandmarks()
+        heights = []
+        for frame in frames:
+            eye = frame.face[f.RIGHT_EYE[0]:f.RIGHT_EYE[1]]
+            heights.append(eye[:, 2].max() - eye[:, 2].min())
+        heights = np.array(heights)
+        assert heights.min() < 0.5 * np.median(heights)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MotionSynthesizer(fps=0)
+        with pytest.raises(ValueError):
+            MotionSynthesizer(speech_activity=1.5)
+        with pytest.raises(ValueError):
+            capture_session(0)

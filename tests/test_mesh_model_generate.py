@@ -1,0 +1,108 @@
+"""Triangle mesh container and the parametric head generator."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.mesh.generate import head_mesh, persona_mesh, sketchfab_head_set
+from repro.mesh.model import TriangleMesh
+
+
+class TestTriangleMesh:
+    def test_counts(self, small_head):
+        assert small_head.triangle_count == 2000
+        assert small_head.vertex_count == len(small_head.vertices)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 2)), np.zeros((1, 3), dtype=int))
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.zeros((1, 4), dtype=int))
+
+    def test_out_of_range_faces_rejected(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 5]]))
+
+    def test_bounding_box_contains_vertices(self, small_head):
+        lo, hi = small_head.bounding_box()
+        assert (small_head.vertices >= lo - 1e-12).all()
+        assert (small_head.vertices <= hi + 1e-12).all()
+
+    def test_surface_area_positive(self, small_head):
+        assert small_head.surface_area() > 0
+
+    def test_translation_preserves_area(self, small_head):
+        moved = small_head.translated(np.array([1.0, 2.0, 3.0]))
+        assert moved.surface_area() == pytest.approx(small_head.surface_area())
+
+    def test_scaling_scales_area_quadratically(self, small_head):
+        scaled = small_head.scaled(2.0)
+        assert scaled.surface_area() == pytest.approx(
+            4.0 * small_head.surface_area(), rel=1e-9
+        )
+
+    def test_scale_must_be_positive(self, small_head):
+        with pytest.raises(ValueError):
+            small_head.scaled(0.0)
+
+    def test_copy_is_independent(self, small_head):
+        copy = small_head.copy()
+        copy.vertices[0] += 1.0
+        assert not np.array_equal(copy.vertices[0], small_head.vertices[0])
+
+
+class TestHeadGenerator:
+    def test_exact_triangle_count(self):
+        for target in (2000, 5000, 78_030):
+            assert head_mesh(target).triangle_count == target
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ValueError):
+            head_mesh(2001)
+
+    def test_tiny_count_rejected(self):
+        with pytest.raises(ValueError):
+            head_mesh(10)
+
+    def test_persona_matches_realitykit_count(self, persona):
+        assert persona.triangle_count == calibration.PERSONA_TRIANGLES
+
+    def test_human_scale(self, persona):
+        lo, hi = persona.bounding_box()
+        extent = float(np.max(hi - lo))
+        assert 0.15 < extent < 0.40  # a head is ~20-30 cm
+
+    def test_seeds_give_distinct_heads(self):
+        a = head_mesh(2000, seed=0)
+        b = head_mesh(2000, seed=1)
+        assert not np.allclose(a.vertices, b.vertices)
+
+    def test_same_seed_is_deterministic(self):
+        a = head_mesh(2000, seed=5)
+        b = head_mesh(2000, seed=5)
+        assert np.array_equal(a.vertices, b.vertices)
+        assert np.array_equal(a.faces, b.faces)
+
+    def test_no_degenerate_faces_without_scan_noise(self):
+        mesh = head_mesh(2000, seed=0, scan_like=False)
+        assert mesh.degenerate_face_count() == 0
+
+    def test_scan_like_alters_vertex_order(self):
+        grid = head_mesh(2000, seed=0, scan_like=False)
+        scan = head_mesh(2000, seed=0, scan_like=True)
+        assert grid.triangle_count == scan.triangle_count
+        assert not np.allclose(grid.vertices, scan.vertices)
+
+
+class TestSketchfabSet:
+    def test_five_heads_in_paper_range(self):
+        heads = sketchfab_head_set()
+        assert len(heads) == 5
+        low, high = calibration.SKETCHFAB_HEAD_TRIANGLE_RANGE
+        for head in heads:
+            assert low <= head.triangle_count <= high + 1
+
+    def test_counts_span_the_range(self):
+        counts = [h.triangle_count for h in sketchfab_head_set()]
+        assert counts == sorted(counts)
+        assert counts[-1] - counts[0] >= 18_000

@@ -1,0 +1,137 @@
+"""Mesh decimation and the Draco-like codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import calibration
+from repro.mesh.codec import DracoLikeCodec, _pack_uint, _unpack_uint, _unzigzag, _zigzag
+from repro.mesh.generate import head_mesh, sketchfab_head_set
+from repro.mesh.simplify import decimate, decimate_to_target
+
+
+class TestDecimate:
+    def test_reduces_triangles(self, small_head):
+        reduced = decimate(small_head, 8)
+        assert 0 < reduced.triangle_count < small_head.triangle_count
+
+    def test_monotone_in_resolution(self, small_head):
+        coarse = decimate(small_head, 6)
+        fine = decimate(small_head, 24)
+        assert coarse.triangle_count <= fine.triangle_count
+
+    def test_preserves_scale(self, small_head):
+        reduced = decimate(small_head, 16)
+        lo0, hi0 = small_head.bounding_box()
+        lo1, hi1 = reduced.bounding_box()
+        assert np.allclose(hi1 - lo1, hi0 - lo0, rtol=0.3)
+
+    def test_bad_resolution_rejected(self, small_head):
+        with pytest.raises(ValueError):
+            decimate(small_head, 0)
+
+    def test_to_target_hits_tolerance(self, small_head):
+        target = 600
+        reduced = decimate_to_target(small_head, target, tolerance=0.25)
+        assert abs(reduced.triangle_count - target) <= 0.25 * target
+
+    def test_to_target_noop_when_target_above(self, small_head):
+        same = decimate_to_target(small_head, small_head.triangle_count + 10)
+        assert same.triangle_count == small_head.triangle_count
+
+    def test_to_target_rejects_tiny(self, small_head):
+        with pytest.raises(ValueError):
+            decimate_to_target(small_head, 2)
+
+
+class TestZigzag:
+    @given(st.lists(st.integers(min_value=-2**40, max_value=2**40),
+                    min_size=1, max_size=100))
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(_unzigzag(_zigzag(arr)), arr)
+
+    def test_small_magnitudes_stay_small(self):
+        assert _zigzag(np.array([0], dtype=np.int64))[0] == 0
+        assert _zigzag(np.array([-1], dtype=np.int64))[0] == 1
+        assert _zigzag(np.array([1], dtype=np.int64))[0] == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**31),
+                    min_size=1, max_size=50))
+    def test_pack_roundtrip(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        blob = _pack_uint(arr)
+        assert np.array_equal(_unpack_uint(blob, len(arr)), arr)
+
+
+class TestDracoLikeCodec:
+    def test_topology_lossless(self, small_head):
+        codec = DracoLikeCodec()
+        decoded = codec.decode(codec.encode(small_head))
+        assert np.array_equal(decoded.faces, small_head.faces)
+
+    def test_position_error_within_bound(self, small_head):
+        codec = DracoLikeCodec(quantization_bits=11)
+        decoded = codec.decode(codec.encode(small_head))
+        error = np.abs(decoded.vertices - small_head.vertices).max()
+        assert error <= codec.max_position_error(small_head)
+
+    def test_more_bits_less_error(self, small_head):
+        coarse = DracoLikeCodec(quantization_bits=8)
+        fine = DracoLikeCodec(quantization_bits=14)
+        err_coarse = np.abs(
+            coarse.decode(coarse.encode(small_head)).vertices - small_head.vertices
+        ).max()
+        err_fine = np.abs(
+            fine.decode(fine.encode(small_head)).vertices - small_head.vertices
+        ).max()
+        assert err_fine < err_coarse
+
+    def test_more_bits_bigger_payload(self, small_head):
+        small = DracoLikeCodec(quantization_bits=8).encode(small_head)
+        big = DracoLikeCodec(quantization_bits=16).encode(small_head)
+        assert small.byte_size < big.byte_size
+
+    def test_invalid_quantization_rejected(self):
+        with pytest.raises(ValueError):
+            DracoLikeCodec(quantization_bits=2)
+        with pytest.raises(ValueError):
+            DracoLikeCodec(quantization_bits=30)
+
+    def test_decode_rejects_garbage(self):
+        from repro.mesh.codec import EncodedMesh
+
+        with pytest.raises(ValueError):
+            DracoLikeCodec().decode(EncodedMesh(b"NOPE" + b"\x00" * 64))
+
+    def test_bitrate_arithmetic(self, small_head):
+        encoded = DracoLikeCodec().encode(small_head)
+        assert encoded.bitrate_mbps(90) == pytest.approx(
+            encoded.byte_size * 8 * 90 / 1e6
+        )
+
+    def test_compression_beats_raw(self, small_head):
+        raw_bytes = small_head.vertex_count * 12 + small_head.triangle_count * 12
+        encoded = DracoLikeCodec().encode(small_head)
+        assert encoded.byte_size < raw_bytes
+
+
+class TestPaperCalibration:
+    def test_head_set_streaming_rate_matches_paper(self):
+        # Sec. 4.3: 107.4 +/- 14.1 Mbps for 70-90K-triangle heads at 90 FPS.
+        codec = DracoLikeCodec()
+        rates = [
+            codec.encode(h).bitrate_mbps(calibration.TARGET_FPS)
+            for h in sketchfab_head_set()
+        ]
+        mean = float(np.mean(rates))
+        paper_mean, paper_std = calibration.DRACO_STREAMING_MBPS
+        assert abs(mean - paper_mean) < 1.5 * paper_std
+
+    def test_streaming_rate_dwarfs_semantic_rate(self):
+        codec = DracoLikeCodec()
+        smallest = min(
+            codec.encode(h).bitrate_mbps(calibration.TARGET_FPS)
+            for h in sketchfab_head_set()
+        )
+        assert smallest > 50 * calibration.SPATIAL_PERSONA_MBPS

@@ -1,0 +1,143 @@
+"""Texture atlas codec and mesh file I/O."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.mesh.codec import DracoLikeCodec
+from repro.mesh.generate import head_mesh
+from repro.mesh.io import load_obj, load_ply, save_obj, save_ply
+from repro.mesh.texture import (
+    TextureAtlas,
+    TextureCodec,
+    skin_texture,
+    textured_streaming_mbps,
+)
+
+
+class TestTextureAtlas:
+    def test_skin_texture_shape(self):
+        atlas = skin_texture(256, seed=0)
+        assert atlas.pixels.shape == (256, 256, 3)
+        assert atlas.resolution == 256
+
+    def test_pixels_in_unit_range(self):
+        atlas = skin_texture(128, seed=1)
+        assert atlas.pixels.min() >= 0.0
+        assert atlas.pixels.max() <= 1.0
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            skin_texture(100)  # not a multiple of 8
+        with pytest.raises(ValueError):
+            skin_texture(0)
+
+    def test_atlas_validation(self):
+        with pytest.raises(ValueError):
+            TextureAtlas(np.zeros((10, 10, 3)))  # not multiple of 8
+        with pytest.raises(ValueError):
+            TextureAtlas(np.zeros((8, 8)))
+
+
+class TestTextureCodec:
+    def test_roundtrip_close(self):
+        atlas = skin_texture(128, seed=0)
+        codec = TextureCodec(quality=90)
+        decoded = codec.decode(codec.encode(atlas))
+        error = np.abs(decoded.pixels - atlas.pixels).mean()
+        assert error < 0.02
+
+    def test_higher_quality_bigger_and_better(self):
+        atlas = skin_texture(128, seed=0)
+        low, high = TextureCodec(quality=20), TextureCodec(quality=95)
+        low_payload, high_payload = low.encode(atlas), high.encode(atlas)
+        assert len(low_payload) < len(high_payload)
+        low_err = np.abs(low.decode(low_payload).pixels - atlas.pixels).mean()
+        high_err = np.abs(high.decode(high_payload).pixels - atlas.pixels).mean()
+        assert high_err < low_err
+
+    def test_compression_beats_raw(self):
+        atlas = skin_texture(256, seed=0)
+        raw = atlas.pixels.astype(np.float32).nbytes
+        assert len(TextureCodec().encode(atlas)) < raw / 4
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            TextureCodec(quality=0)
+        with pytest.raises(ValueError):
+            TextureCodec(quality=101)
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ValueError):
+            TextureCodec().decode(b"\x00\x01")
+
+
+class TestTexturedStreaming:
+    def test_texture_makes_mesh_streaming_worse(self):
+        # Sec. 4.3's "even without texture" caveat, quantified.
+        codec = DracoLikeCodec()
+        geometry = codec.encode(head_mesh(70_000, seed=0)).byte_size
+        texture = len(TextureCodec(quality=75).encode(skin_texture(512)))
+        bare = textured_streaming_mbps(geometry, 0, calibration.TARGET_FPS)
+        textured = textured_streaming_mbps(geometry, texture,
+                                           calibration.TARGET_FPS)
+        assert textured > bare
+
+    def test_refresh_fraction_scales_cost(self):
+        full = textured_streaming_mbps(1000, 1000, 90, 1.0)
+        partial = textured_streaming_mbps(1000, 1000, 90, 0.25)
+        assert partial < full
+        assert partial == pytest.approx(
+            textured_streaming_mbps(1000, 250, 90, 1.0)
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            textured_streaming_mbps(1, 1, 90, 1.5)
+
+
+class TestObjIo:
+    def test_roundtrip(self, small_head, tmp_path):
+        path = tmp_path / "head.obj"
+        save_obj(small_head, path)
+        loaded = load_obj(path)
+        assert loaded.triangle_count == small_head.triangle_count
+        assert np.allclose(loaded.vertices, small_head.vertices, atol=1e-6)
+        assert np.array_equal(loaded.faces, small_head.faces)
+
+    def test_slash_indices_tolerated(self, tmp_path):
+        path = tmp_path / "slashes.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1 2/2 3/3\n")
+        mesh = load_obj(path)
+        assert mesh.triangle_count == 1
+
+    def test_quad_face_rejected(self, tmp_path):
+        path = tmp_path / "quad.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\nf 1 2 3 4\n")
+        with pytest.raises(ValueError, match="triangles"):
+            load_obj(path)
+
+
+class TestPlyIo:
+    def test_roundtrip(self, small_head, tmp_path):
+        path = tmp_path / "head.ply"
+        save_ply(small_head, path)
+        loaded = load_ply(path)
+        assert loaded.triangle_count == small_head.triangle_count
+        assert np.allclose(loaded.vertices, small_head.vertices, atol=1e-6)
+        assert np.array_equal(loaded.faces, small_head.faces)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.ply"
+        path.write_bytes(b"not a ply file at all")
+        with pytest.raises(ValueError):
+            load_ply(path)
+
+    def test_formats_agree(self, tmp_path):
+        mesh = head_mesh(500, seed=2, scan_like=False)
+        obj_path, ply_path = tmp_path / "m.obj", tmp_path / "m.ply"
+        save_obj(mesh, obj_path)
+        save_ply(mesh, ply_path)
+        from_obj, from_ply = load_obj(obj_path), load_ply(ply_path)
+        assert np.allclose(from_obj.vertices, from_ply.vertices, atol=1e-6)
+        assert np.array_equal(from_obj.faces, from_ply.faces)

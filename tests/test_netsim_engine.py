@@ -1,0 +1,118 @@
+"""Discrete-event scheduler semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.1, lambda: order.append(1))
+        sim.schedule(0.1, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.pending_events() == 1
+        assert sim.now == 2.0
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.1, lambda: order.append("nested"))
+
+        sim.schedule(0.1, first)
+        sim.run()
+        assert order == ["first", "nested"]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(0.1, recurse)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+class TestPeriodic:
+    def test_schedule_every_fires_expected_count(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(0.1, lambda: ticks.append(sim.now), until=1.0)
+        sim.run()
+        assert len(ticks) == 10  # 0.0, 0.1, ..., 0.9
+
+    def test_schedule_every_with_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(0.5, lambda: ticks.append(sim.now),
+                           start=1.0, until=2.1)
+        sim.run()
+        assert ticks == [1.0, 1.5, 2.0]
+
+    def test_interval_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_every(0.0, lambda: None)
+
+    def test_start_beyond_until_fires_nothing(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(0.1, lambda: ticks.append(1), start=5.0, until=1.0)
+        sim.run()
+        assert ticks == []
+
+
+class TestOrderingProperty:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_execution_order_is_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,215 @@
+"""Hosts, the network fabric, shapers, captures, and the SFU."""
+
+import pytest
+
+from repro.geo.regions import city
+from repro.netsim.capture import Direction
+from repro.netsim.engine import Simulator
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.packet import IPPROTO_UDP, Packet
+from repro.netsim.sfu import SelectiveForwardingUnit, forwarding_is_linear
+from repro.netsim.shaper import TrafficShaper
+from repro.netsim.wifi import WiFiAccessPoint
+
+
+def build_pair(delay_ms=None):
+    sim = Simulator()
+    network = Network(sim)
+    a = Host("10.0.0.2", city("san jose"), name="A")
+    b = Host("10.0.1.2", city("washington"), name="B")
+    network.attach(a)
+    network.attach(b)
+    return sim, network, a, b
+
+
+def packet(a, b, payload=b"hello", port=5000):
+    return Packet(a.address, b.address, 4000, port, IPPROTO_UDP, payload)
+
+
+class TestDelivery:
+    def test_packet_arrives_with_core_delay(self):
+        sim, network, a, b = build_pair()
+        arrivals = []
+        b.bind(5000, lambda p: arrivals.append(sim.now))
+        a.send(packet(a, b))
+        sim.run()
+        expected = network.one_way_delay_s(a.address, b.address)
+        assert len(arrivals) == 1
+        assert arrivals[0] == pytest.approx(expected, rel=0.05)
+
+    def test_unbound_port_goes_to_inbox(self):
+        sim, network, a, b = build_pair()
+        a.send(packet(a, b, port=9999))
+        sim.run()
+        assert len(b.inbox) == 1
+
+    def test_unknown_destination_raises(self):
+        sim, network, a, b = build_pair()
+        bad = Packet(a.address, "203.0.113.1", 1, 2, IPPROTO_UDP, b"")
+        with pytest.raises(KeyError):
+            a.send(bad)
+
+    def test_wrong_source_rejected(self):
+        sim, network, a, b = build_pair()
+        spoofed = Packet("203.0.113.1", b.address, 1, 2, IPPROTO_UDP, b"")
+        with pytest.raises(ValueError):
+            a.send(spoofed)
+
+    def test_duplicate_attach_rejected(self):
+        sim, network, a, b = build_pair()
+        with pytest.raises(ValueError):
+            network.attach(Host(a.address, city("dallas")))
+
+    def test_double_bind_rejected(self):
+        sim, network, a, b = build_pair()
+        b.bind(5000, lambda p: None)
+        with pytest.raises(ValueError):
+            b.bind(5000, lambda p: None)
+
+    def test_stats_count_deliveries(self):
+        sim, network, a, b = build_pair()
+        for _ in range(3):
+            a.send(packet(a, b))
+        sim.run()
+        assert network.stats.packets_sent == 3
+        assert network.stats.packets_delivered == 3
+
+
+class TestShaping:
+    def test_delay_shaper_adds_latency(self):
+        sim, network, a, b = build_pair()
+        network.set_uplink_shaper(a.address, TrafficShaper(delay_ms=200))
+        arrivals = []
+        b.bind(5000, lambda p: arrivals.append(sim.now))
+        a.send(packet(a, b))
+        sim.run()
+        base = network.one_way_delay_s(a.address, b.address)
+        assert arrivals[0] == pytest.approx(base + 0.2, rel=0.05)
+
+    def test_rate_limit_drops_excess(self):
+        sim, network, a, b = build_pair()
+        shaper = TrafficShaper(rate_bps=8_000, queue_bytes=2000)
+        network.set_uplink_shaper(a.address, shaper)
+        for _ in range(50):
+            a.send(packet(a, b, payload=b"x" * 972))
+        sim.run()
+        assert shaper.packets_dropped > 0
+        assert network.stats.packets_delivered < 50
+
+    def test_loss_shaper_drops_probabilistically(self):
+        sim, network, a, b = build_pair()
+        shaper = TrafficShaper(loss=0.5, seed=1)
+        network.set_downlink_shaper(b.address, shaper)
+        for _ in range(200):
+            a.send(packet(a, b))
+        sim.run()
+        assert 40 < shaper.packets_dropped < 160
+
+    def test_offered_rate_tracks_pre_drop_bytes(self):
+        sim, network, a, b = build_pair()
+        shaper = TrafficShaper(rate_bps=8_000, queue_bytes=2000)
+        network.set_uplink_shaper(a.address, shaper)
+        for _ in range(10):
+            a.send(packet(a, b, payload=b"x" * 972))
+        sim.run()
+        assert shaper.offered_mbps(1.0) == pytest.approx(10 * 1000 * 8 / 1e6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TrafficShaper(delay_ms=-1)
+        with pytest.raises(ValueError):
+            TrafficShaper(loss=1.0)
+
+
+class TestCapture:
+    def test_capture_sees_both_directions(self):
+        sim, network, a, b = build_pair()
+        cap = network.start_capture(a.address)
+        b.bind(5000, lambda p: b.send(p.reply_shell(b"pong")))
+        a.send(packet(a, b))
+        sim.run()
+        assert len(cap.filter(direction=Direction.UPLINK)) == 1
+        assert len(cap.filter(direction=Direction.DOWNLINK)) == 1
+
+    def test_capture_filters_by_peer(self):
+        sim, network, a, b = build_pair()
+        c = Host("10.0.2.2", city("dallas"), name="C")
+        network.attach(c)
+        cap = network.start_capture(a.address)
+        a.send(packet(a, b))
+        a.send(Packet(a.address, c.address, 4000, 5000, IPPROTO_UDP, b"x"))
+        sim.run()
+        assert len(cap.filter(peer=b.address)) == 1
+
+    def test_snap_truncates_payload(self):
+        sim, network, a, b = build_pair()
+        cap = network.start_capture(a.address)
+        a.send(packet(a, b, payload=b"z" * 500))
+        sim.run()
+        assert len(cap.records[0].snap) == 64
+
+    def test_capture_total_bytes(self):
+        sim, network, a, b = build_pair()
+        cap = network.start_capture(a.address)
+        a.send(packet(a, b, payload=b"x" * 100))
+        sim.run()
+        assert cap.total_bytes(Direction.UPLINK) == 128
+
+
+class TestSfu:
+    def test_fanout_to_all_others(self):
+        sim = Simulator()
+        network = Network(sim)
+        hosts = []
+        received = {i: [] for i in range(3)}
+        for i in range(3):
+            h = Host(f"10.0.{i}.2", city("dallas"), name=f"U{i}")
+            network.attach(h)
+            h.bind(5000, lambda p, i=i: received[i].append(p))
+            hosts.append(h)
+        sfu = SelectiveForwardingUnit("192.0.2.1", city("chicago"))
+        network.attach(sfu)
+        for h in hosts:
+            sfu.register(h.address, 5000)
+        hosts[0].send(Packet(
+            hosts[0].address, sfu.address, 5000,
+            SelectiveForwardingUnit.MEDIA_PORT, IPPROTO_UDP, b"media",
+        ))
+        sim.run()
+        assert len(received[0]) == 0  # never echoed to the sender
+        assert len(received[1]) == 1
+        assert len(received[2]) == 1
+        assert received[1][0].meta["origin"] == hosts[0].address
+
+    def test_unregister_stops_forwarding(self):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host("10.0.0.2", city("dallas"))
+        b = Host("10.0.1.2", city("chicago"))
+        network.attach(a)
+        network.attach(b)
+        sfu = SelectiveForwardingUnit("192.0.2.1", city("chicago"))
+        network.attach(sfu)
+        sfu.register(a.address, 5000)
+        sfu.register(b.address, 5000)
+        sfu.unregister(b.address)
+        a.send(Packet(a.address, sfu.address, 5000,
+                      SelectiveForwardingUnit.MEDIA_PORT, IPPROTO_UDP, b"m"))
+        sim.run()
+        assert b.inbox == []
+
+    def test_linear_forwarding_formula(self):
+        assert forwarding_is_linear(5, 1e6) == pytest.approx(4e6)
+        with pytest.raises(ValueError):
+            forwarding_is_linear(0, 1e6)
+
+
+class TestWifi:
+    def test_ap_rate_validation(self):
+        with pytest.raises(ValueError):
+            WiFiAccessPoint(throughput_mbps=0)
+
+    def test_default_rate_matches_testbed(self):
+        ap = WiFiAccessPoint()
+        assert ap.uplink.rate_bps == pytest.approx(300e6)

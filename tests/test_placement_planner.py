@@ -1,0 +1,125 @@
+"""Server-placement optimization and the session feasibility planner."""
+
+import pytest
+
+from repro import calibration
+from repro.devices.models import MacBook, VisionPro
+from repro.geo.placement import (
+    assess_fleet,
+    candidate_sites,
+    mean_rtt_ms,
+    optimize_placement,
+)
+from repro.geo.regions import all_clients, city
+from repro.geo.servers import ALL_FLEETS
+from repro.vca.planner import (
+    check_feasibility,
+    max_users_for_capacity,
+    plan_session,
+)
+from repro.vca.profiles import FACETIME, PersonaKind, WEBEX, ZOOM
+
+
+class TestPlacementOptimizer:
+    def test_candidate_grid_covers_the_us(self):
+        sites = candidate_sites()
+        assert len(sites) > 100
+        lats = [s.lat for s in sites]
+        lons = [s.lon for s in sites]
+        assert min(lats) < 30 and max(lats) > 45
+        assert min(lons) < -120 and max(lons) > -75
+
+    def test_more_servers_never_hurt(self):
+        one = optimize_placement(1)
+        three = optimize_placement(3)
+        assert three.mean_rtt_ms <= one.mean_rtt_ms
+
+    def test_single_server_lands_centrally(self):
+        placement = optimize_placement(1)
+        server = placement.servers[0]
+        # The 1-median of the eight vantage cities is mid-continent.
+        assert -105 < server.lon < -85
+
+    def test_mean_rtt_validation(self):
+        with pytest.raises(ValueError):
+            mean_rtt_ms([], all_clients())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            optimize_placement(0)
+
+    def test_optimal_lower_bounds_observed(self):
+        for vca in ("FaceTime", "Zoom", "Webex", "Teams"):
+            assessment = assess_fleet(ALL_FLEETS[vca])
+            assert assessment.optimal_mean_rtt_ms <= \
+                assessment.observed_mean_rtt_ms + 1e-6
+            assert 0.0 < assessment.efficiency <= 1.0 + 1e-9
+
+    def test_facetime_fleet_near_optimal(self):
+        # Four well-spread servers leave little on the table.
+        assessment = assess_fleet(ALL_FLEETS["FaceTime"])
+        assert assessment.efficiency > 0.8
+
+    def test_teams_single_server_clearly_suboptimal(self):
+        # The paper's Table 1 Teams column shows the cost of one West
+        # Coast server; the optimizer quantifies it.
+        assessment = assess_fleet(ALL_FLEETS["Teams"])
+        assert assessment.efficiency < 0.8
+
+
+class TestSessionPlanner:
+    def test_spatial_plan_uses_semantic_rates(self):
+        plan = plan_session(FACETIME, [VisionPro()] * 3)
+        assert plan.persona_kind is PersonaKind.SPATIAL
+        assert plan.uplink_mbps == pytest.approx(
+            calibration.SPATIAL_PERSONA_MBPS
+        )
+        assert plan.downlink_mbps == pytest.approx(
+            2 * calibration.SPATIAL_PERSONA_MBPS
+        )
+
+    def test_2d_plan_uses_profile_rates(self):
+        plan = plan_session(WEBEX, [VisionPro()] * 4)
+        assert plan.uplink_mbps == pytest.approx(4.3)
+        assert plan.downlink_mbps == pytest.approx(3 * 4.3)
+
+    def test_spatial_floor_is_the_cutoff(self):
+        plan = plan_session(FACETIME, [VisionPro(), VisionPro()])
+        assert plan.uplink_floor_mbps == pytest.approx(0.7)
+
+    def test_over_cap_rejected(self):
+        with pytest.raises(ValueError, match="caps"):
+            plan_session(FACETIME, [VisionPro()] * 6)
+
+    def test_mixed_devices_fall_back_to_2d(self):
+        plan = plan_session(FACETIME, [VisionPro(), MacBook()])
+        assert plan.persona_kind is PersonaKind.TWO_D
+
+    def test_feasibility_identifies_limit(self):
+        verdict = check_feasibility(WEBEX, [VisionPro()] * 8, 10.0, 20.0)
+        assert not verdict.feasible
+        assert verdict.limiting_direction == "downlink"
+        assert "NOT fit" in verdict.explanation()
+
+    def test_feasible_session(self):
+        verdict = check_feasibility(
+            FACETIME, [VisionPro()] * 5, 10.0, 10.0
+        )
+        assert verdict.feasible
+        assert verdict.limiting_direction is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            check_feasibility(ZOOM, [VisionPro()] * 2, 0.0, 10.0)
+
+    def test_max_users_spatial_hits_the_cap(self):
+        # Bandwidth would allow more; the persona cap stops at 5.
+        assert max_users_for_capacity(FACETIME, VisionPro, 50.0, 50.0) == 5
+
+    def test_max_users_limited_by_downlink(self):
+        # Webex: each extra user adds ~4.3 Mbps of downlink.
+        n = max_users_for_capacity(WEBEX, VisionPro, 10.0, 20.0)
+        assert n == 4  # 3 remote streams * 4.3 = 12.9 < 17; 4 * 4.3 > 17
+
+    def test_max_users_zero_when_uplink_too_small(self):
+        assert max_users_for_capacity(WEBEX, VisionPro, 2.0, 100.0) == 0

@@ -1,0 +1,182 @@
+"""Camera geometry and the LOD policy tiers."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.rendering.camera import Camera, head_coverage
+from repro.rendering.lod import (
+    TIER_TRIANGLES,
+    LodPolicy,
+    PersonaView,
+    VisibilityState,
+)
+
+FWD = np.array([1.0, 0.0, 0.0])
+
+
+def view(position, ecc=0.0, pid="p"):
+    return PersonaView(pid, np.asarray(position, dtype=float), ecc)
+
+
+class TestCamera:
+    def test_distance(self):
+        cam = Camera(np.zeros(3), FWD)
+        assert cam.distance_to([3.0, 4.0, 0.0]) == pytest.approx(5.0)
+
+    def test_angle_from_forward(self):
+        cam = Camera(np.zeros(3), FWD)
+        assert cam.angle_from_forward_deg([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+        assert cam.angle_from_forward_deg([0.0, 1.0, 0.0]) == pytest.approx(90.0)
+
+    def test_in_viewport_center(self):
+        cam = Camera(np.zeros(3), FWD)
+        assert cam.in_viewport([2.0, 0.0, 0.0])
+
+    def test_behind_is_outside(self):
+        cam = Camera(np.zeros(3), FWD)
+        assert not cam.in_viewport([-1.0, 0.0, 0.0])
+
+    def test_horizontal_edge(self):
+        cam = Camera(np.zeros(3), FWD)
+        import math
+
+        inside = [math.cos(math.radians(45)), math.sin(math.radians(45)), 0.0]
+        outside = [math.cos(math.radians(60)), math.sin(math.radians(60)), 0.0]
+        assert cam.in_viewport(inside)
+        assert not cam.in_viewport(outside)
+
+    def test_vertical_fov_narrower(self):
+        import math
+
+        cam = Camera(np.zeros(3), FWD)
+        deg45 = [math.cos(math.radians(45)), 0.0, math.sin(math.radians(45))]
+        assert not cam.in_viewport(deg45)  # vertical half-FOV is 39 degrees
+
+    def test_turned_toward_blends(self):
+        cam = Camera(np.zeros(3), FWD)
+        target = np.array([0.0, 1.0, 0.0])
+        halfway = cam.turned_toward(target, 0.5)
+        angle = halfway.angle_from_forward_deg(target)
+        assert 0 < angle < 90
+
+    def test_turn_fraction_validated(self):
+        cam = Camera(np.zeros(3), FWD)
+        with pytest.raises(ValueError):
+            cam.turned_toward(np.array([0.0, 1.0, 0.0]), 1.5)
+
+    def test_zero_forward_rejected(self):
+        with pytest.raises(ValueError):
+            Camera(np.zeros(3), np.zeros(3))
+
+
+class TestCoverage:
+    def test_inverse_square(self):
+        assert head_coverage(2.0) == pytest.approx(head_coverage(1.0) / 4.0)
+
+    def test_capped_at_one(self):
+        assert head_coverage(0.01) == 1.0
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            head_coverage(0.0)
+
+
+class TestLodTiers:
+    """The policy must reproduce the four Sec. 4.4 tiers exactly."""
+
+    def setup_method(self):
+        self.policy = LodPolicy()
+        self.camera = Camera(np.zeros(3), FWD)
+
+    def _decide(self, v):
+        return self.policy.decide(self.camera, [v])[0]
+
+    def test_full_tier(self):
+        d = self._decide(view([1.0, 0.0, 0.0], ecc=0.0))
+        assert d.state is VisibilityState.FULL
+        assert d.triangles == calibration.PERSONA_TRIANGLES
+
+    def test_viewport_culled_tier(self):
+        d = self._decide(view([-1.0, 0.0, 0.0], ecc=150.0))
+        assert d.state is VisibilityState.CULLED
+        assert d.triangles == calibration.VIEWPORT_CULLED_TRIANGLES
+        assert d.coverage == 0.0
+
+    def test_peripheral_tier(self):
+        d = self._decide(view([1.0, 0.5, 0.0], ecc=45.0))
+        assert d.state is VisibilityState.PERIPHERAL
+        assert d.triangles == calibration.FOVEATED_TRIANGLES
+        assert d.foveated_shading
+
+    def test_distant_tier(self):
+        d = self._decide(view([3.5, 0.0, 0.0], ecc=0.0))
+        assert d.state is VisibilityState.DISTANT
+        assert d.triangles == calibration.DISTANCE_TRIANGLES
+
+    def test_distance_boundary_is_three_meters(self):
+        near = self._decide(view([2.9, 0.0, 0.0]))
+        far = self._decide(view([3.1, 0.0, 0.0]))
+        assert near.state is VisibilityState.FULL
+        assert far.state is VisibilityState.DISTANT
+
+    def test_peripheral_beats_distance(self):
+        # A persona that is both far and peripheral is rendered at the
+        # peripheral tier (fewest triangles of the two).
+        d = self._decide(view([3.5, 1.0, 0.0], ecc=40.0))
+        assert d.state is VisibilityState.PERIPHERAL
+
+    def test_disabled_optimizations_keep_full(self):
+        policy = LodPolicy(viewport_adaptation=False, foveated_rendering=False,
+                           distance_aware=False)
+        cam = Camera(np.zeros(3), FWD)
+        decisions = policy.decide(cam, [
+            view([-1.0, 0.0, 0.0], ecc=150.0),
+            view([3.5, 0.0, 0.0], ecc=0.0),
+            view([1.0, 0.5, 0.0], ecc=45.0),
+        ])
+        assert all(d.state is VisibilityState.FULL for d in decisions)
+
+
+class TestOcclusion:
+    def _line(self):
+        return [
+            view([1.0, 0.0, 0.0], pid="near"),
+            view([2.0, 0.0, 0.0], pid="far"),
+        ]
+
+    def test_disabled_by_default(self):
+        # The paper finds FaceTime does not occlusion-cull (Sec. 4.4).
+        policy = LodPolicy()
+        cam = Camera(np.zeros(3), FWD)
+        decisions = policy.decide(cam, self._line())
+        assert all(d.state is not VisibilityState.OCCLUDED for d in decisions)
+
+    def test_enabled_culls_hidden_persona(self):
+        policy = LodPolicy(occlusion_aware=True)
+        cam = Camera(np.zeros(3), FWD)
+        by_id = {d.persona_id: d for d in policy.decide(cam, self._line())}
+        assert by_id["near"].state is VisibilityState.FULL
+        assert by_id["far"].state is VisibilityState.OCCLUDED
+        assert by_id["far"].triangles == 0
+
+    def test_side_by_side_not_occluded(self):
+        policy = LodPolicy(occlusion_aware=True)
+        cam = Camera(np.zeros(3), FWD)
+        personas = [
+            view([1.0, -0.4, 0.0], pid="a"),
+            view([2.0, 0.8, 0.0], pid="b", ecc=20.0),
+        ]
+        decisions = policy.decide(cam, personas)
+        assert all(d.state is not VisibilityState.OCCLUDED for d in decisions)
+
+
+class TestTierTable:
+    def test_tier_triangles_strictly_ordered(self):
+        assert (
+            TIER_TRIANGLES[VisibilityState.FULL]
+            > TIER_TRIANGLES[VisibilityState.DISTANT]
+            > TIER_TRIANGLES[VisibilityState.PERIPHERAL]
+            > TIER_TRIANGLES[VisibilityState.CULLED]
+            > TIER_TRIANGLES[VisibilityState.OCCLUDED]
+        )

@@ -1,0 +1,188 @@
+"""Cost models, the Fig. 5 fit, gaze dynamics, and the render pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.rendering.camera import Camera, head_coverage
+from repro.rendering.cost import (
+    CPU_COST_FIT,
+    FRAME_COST_FIT,
+    CpuCostModel,
+    GpuCostModel,
+)
+from repro.rendering.gaze import AttentionModel, arrange_personas
+from repro.rendering.lod import LodDecision, LodPolicy, PersonaView, VisibilityState
+from repro.rendering.pipeline import RenderPipeline, summarize
+
+FWD = np.array([1.0, 0.0, 0.0])
+
+
+def decision(state, triangles, coverage, foveated=False):
+    return LodDecision("p", state, triangles, coverage, foveated)
+
+
+class TestGpuFit:
+    """The solved parameters must reproduce all four Fig. 5 anchors."""
+
+    def setup_method(self):
+        self.gpu = GpuCostModel(noise_std_ms=0.0)
+
+    def _time(self, d):
+        return self.gpu.frame_time_ms([d], noisy=False)
+
+    def test_baseline_anchor(self):
+        d = decision(VisibilityState.FULL, calibration.PERSONA_TRIANGLES,
+                     head_coverage(1.0))
+        assert self._time(d) == pytest.approx(calibration.GPU_MS_BASELINE[0], abs=0.01)
+
+    def test_viewport_anchor(self):
+        d = decision(VisibilityState.CULLED,
+                     calibration.VIEWPORT_CULLED_TRIANGLES, 0.0)
+        assert self._time(d) == pytest.approx(calibration.GPU_MS_VIEWPORT[0], abs=0.01)
+
+    def test_foveated_anchor(self):
+        d = decision(VisibilityState.PERIPHERAL, calibration.FOVEATED_TRIANGLES,
+                     head_coverage(1.0), foveated=True)
+        assert self._time(d) == pytest.approx(calibration.GPU_MS_FOVEATED[0], abs=0.01)
+
+    def test_distance_anchor(self):
+        d = decision(VisibilityState.DISTANT, calibration.DISTANCE_TRIANGLES,
+                     head_coverage(3.0))
+        assert self._time(d) == pytest.approx(calibration.GPU_MS_DISTANCE[0], abs=0.01)
+
+    def test_fit_parameters_physical(self):
+        assert FRAME_COST_FIT.setup_ms > 0
+        assert FRAME_COST_FIT.k_tri_ms > 0
+        assert FRAME_COST_FIT.k_frag_ms > 0
+        assert 0 < FRAME_COST_FIT.foveated_shading_factor < 1
+
+    def test_cost_additive_over_personas(self):
+        d = decision(VisibilityState.FULL, 10_000, 0.01)
+        one = self.gpu.frame_time_ms([d], noisy=False)
+        two = self.gpu.frame_time_ms([d, d], noisy=False)
+        assert two - one == pytest.approx(one - FRAME_COST_FIT.setup_ms)
+
+    def test_noise_is_applied(self):
+        gpu = GpuCostModel(noise_std_ms=0.1)
+        gpu.seed(1)
+        d = decision(VisibilityState.FULL, 10_000, 0.01)
+        times = {gpu.frame_time_ms([d]) for _ in range(10)}
+        assert len(times) > 1
+
+    def test_spikes_only_when_sources_given(self):
+        gpu = GpuCostModel(noise_std_ms=0.0, spike_prob=1.0, spike_scale_ms=2.0)
+        gpu.seed(0)
+        d = decision(VisibilityState.FULL, 10_000, 0.01)
+        calm = gpu.frame_time_ms([d], noisy=False, spike_sources=0)
+        spiky = gpu.frame_time_ms([d], noisy=False, spike_sources=1)
+        assert spiky > calm
+
+
+class TestCpuFit:
+    def test_two_user_anchor(self):
+        cpu = CpuCostModel(noise_std_ms=0.0)
+        assert cpu.frame_time_ms(1, noisy=False) == pytest.approx(
+            calibration.CPU_MS_TWO_USERS[0], abs=0.01
+        )
+
+    def test_five_user_anchor(self):
+        cpu = CpuCostModel(noise_std_ms=0.0)
+        assert cpu.frame_time_ms(4, noisy=False) == pytest.approx(
+            calibration.CPU_MS_FIVE_USERS[0], abs=0.01
+        )
+
+    def test_linear_in_personas(self):
+        cpu = CpuCostModel(noise_std_ms=0.0)
+        deltas = [
+            cpu.frame_time_ms(n + 1, noisy=False) - cpu.frame_time_ms(n, noisy=False)
+            for n in range(4)
+        ]
+        assert all(d == pytest.approx(CPU_COST_FIT.per_persona_ms) for d in deltas)
+
+    def test_starved_stream_reduces_decode(self):
+        cpu = CpuCostModel(noise_std_ms=0.0)
+        healthy = cpu.frame_time_ms(4, noisy=False)
+        starved = cpu.frame_time_ms(4, noisy=False, received_fraction=0.5)
+        assert starved < healthy
+
+    def test_negative_personas_rejected(self):
+        with pytest.raises(ValueError):
+            CpuCostModel().frame_time_ms(-1)
+
+
+class TestAttention:
+    def test_single_persona_mostly_foveal(self):
+        personas = arrange_personas(["a"])
+        attention = AttentionModel(personas, seed=0)
+        eccs = [attention.step().views[0].gaze_eccentricity_deg
+                for _ in range(900)]
+        assert np.mean(np.array(eccs) < 25.0) > 0.85
+
+    def test_multi_persona_attention_switches(self):
+        personas = arrange_personas(["a", "b", "c"])
+        attention = AttentionModel(personas, seed=1)
+        foveal_counts = {p.persona_id: 0 for p in personas}
+        for _ in range(2700):
+            sample = attention.step()
+            for v in sample.views:
+                if v.gaze_eccentricity_deg < 25.0:
+                    foveal_counts[v.persona_id] += 1
+        assert all(count > 0 for count in foveal_counts.values())
+
+    def test_deterministic_per_seed(self):
+        personas = arrange_personas(["a", "b"])
+        a = AttentionModel(personas, seed=3)
+        b = AttentionModel(personas, seed=3)
+        for _ in range(50):
+            assert a.step().gaze_angle_deg == b.step().gaze_angle_deg
+
+    def test_arrangement_distance_grows_with_count(self):
+        two = arrange_personas(["a"])
+        five = arrange_personas(["a", "b", "c", "d"])
+        assert five[0].distance_m > two[0].distance_m
+
+    def test_empty_arrangement_rejected(self):
+        with pytest.raises(ValueError):
+            arrange_personas([])
+
+
+class TestPipeline:
+    def test_frame_stats_fields(self):
+        pipe = RenderPipeline(seed=0)
+        cam = Camera(np.zeros(3), FWD)
+        stats = pipe.render_frame(
+            0, cam, [PersonaView("a", np.array([1.0, 0.0, 0.0]), 0.0)]
+        )
+        assert stats.triangles == calibration.PERSONA_TRIANGLES
+        assert stats.gpu_ms > 0
+        assert stats.cpu_ms > 0
+        assert not stats.missed_deadline
+
+    def test_session_frame_count(self):
+        pipe = RenderPipeline(seed=0)
+        frames = pipe.render_session(["a"], duration_s=1.0)
+        assert len(frames) == calibration.TARGET_FPS
+
+    def test_session_summary_keys(self):
+        pipe = RenderPipeline(seed=0)
+        summary = summarize(pipe.render_session(["a"], duration_s=2.0))
+        assert set(summary) >= {
+            "gpu_ms_mean", "cpu_ms_mean", "triangles_mean", "deadline_miss_rate"
+        }
+
+    def test_deadline_flag(self):
+        from repro.rendering.pipeline import FrameStats
+
+        slow = FrameStats(0, 1, gpu_ms=12.0, cpu_ms=5.0, decisions=())
+        fast = FrameStats(0, 1, gpu_ms=9.0, cpu_ms=5.0, decisions=())
+        assert slow.missed_deadline
+        assert not fast.missed_deadline
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            RenderPipeline().render_session(["a"], duration_s=0)

@@ -1,0 +1,56 @@
+"""Display-latency model: the Sec. 4.3 discriminating experiment."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.rendering.display import ContentDeliveryMode, DisplayLatencyModel
+
+
+def mean_difference(model, rtt_ms, trials=200):
+    return float(np.mean([
+        model.latency_difference_ms(rtt_ms) for _ in range(trials)
+    ]))
+
+
+class TestLocalReconstruction:
+    def test_difference_under_paper_bound(self):
+        model = DisplayLatencyModel(mode=ContentDeliveryMode.LOCAL_RECONSTRUCTION)
+        model.seed(0)
+        for delay in (0, 500, 1000):
+            diff = mean_difference(model, 40.0 + delay)
+            assert diff < calibration.DISPLAY_LATENCY_DIFF_BOUND_MS
+
+    def test_difference_invariant_to_network(self):
+        model = DisplayLatencyModel(mode=ContentDeliveryMode.LOCAL_RECONSTRUCTION)
+        model.seed(1)
+        at_zero = mean_difference(model, 40.0)
+        at_one_second = mean_difference(model, 1040.0)
+        assert abs(at_one_second - at_zero) < 2.0
+
+
+class TestSenderRendered:
+    def test_difference_tracks_injected_delay(self):
+        model = DisplayLatencyModel(mode=ContentDeliveryMode.SENDER_RENDERED_VIDEO)
+        model.seed(2)
+        low = mean_difference(model, 40.0)
+        high = mean_difference(model, 1040.0)
+        assert high - low == pytest.approx(1000.0, abs=20.0)
+
+    def test_modes_disagree_under_delay(self):
+        local = DisplayLatencyModel(mode=ContentDeliveryMode.LOCAL_RECONSTRUCTION)
+        remote = DisplayLatencyModel(mode=ContentDeliveryMode.SENDER_RENDERED_VIDEO)
+        local.seed(3)
+        remote.seed(3)
+        assert mean_difference(remote, 540.0) > 10 * mean_difference(local, 540.0)
+
+
+class TestValidation:
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            DisplayLatencyModel().persona_latency_ms(-1.0)
+
+    def test_passthrough_positive(self):
+        model = DisplayLatencyModel()
+        model.seed(4)
+        assert model.passthrough_latency_ms() > 0

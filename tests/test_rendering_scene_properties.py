@@ -1,0 +1,162 @@
+"""Property-based invariants over random rendered scenes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import calibration
+from repro.rendering.camera import Camera
+from repro.rendering.cost import GpuCostModel
+from repro.rendering.gaze import AttentionModel, arrange_personas
+from repro.rendering.lod import (
+    TIER_TRIANGLES,
+    LodPolicy,
+    PersonaView,
+    VisibilityState,
+)
+from repro.rendering.pipeline import RenderPipeline
+
+FWD = np.array([1.0, 0.0, 0.0])
+
+_scene_views = st.lists(
+    st.tuples(
+        st.floats(min_value=0.3, max_value=8.0, allow_nan=False),   # distance
+        st.floats(min_value=-180.0, max_value=180.0, allow_nan=False),  # angle
+        st.floats(min_value=0.0, max_value=180.0, allow_nan=False),     # ecc
+    ),
+    min_size=1, max_size=6,
+)
+
+
+def build_views(raw):
+    views = []
+    for i, (distance, angle_deg, ecc) in enumerate(raw):
+        rad = math.radians(angle_deg)
+        views.append(PersonaView(
+            f"p{i}",
+            np.array([distance * math.cos(rad),
+                      distance * math.sin(rad), 0.0]),
+            ecc,
+        ))
+    return views
+
+
+class TestLodInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(_scene_views)
+    def test_one_decision_per_view_from_known_tiers(self, raw):
+        policy = LodPolicy()
+        camera = Camera(np.zeros(3), FWD)
+        decisions = policy.decide(camera, build_views(raw))
+        assert len(decisions) == len(raw)
+        for decision in decisions:
+            assert decision.triangles == TIER_TRIANGLES[decision.state]
+            assert decision.coverage >= 0.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(_scene_views)
+    def test_culled_iff_outside_viewport(self, raw):
+        policy = LodPolicy()
+        camera = Camera(np.zeros(3), FWD)
+        views = build_views(raw)
+        for view, decision in zip(views, policy.decide(camera, views)):
+            in_view = camera.in_viewport(view.position)
+            if decision.state is VisibilityState.CULLED:
+                assert not in_view
+            elif in_view is False:
+                # Out-of-view personas must always be culled when the
+                # optimization is on.
+                assert decision.state is VisibilityState.CULLED
+
+    @settings(max_examples=50, deadline=None)
+    @given(_scene_views)
+    def test_disabling_all_optimizations_maximizes_triangles(self, raw):
+        camera = Camera(np.zeros(3), FWD)
+        views = build_views(raw)
+        optimized = sum(
+            d.triangles for d in LodPolicy().decide(camera, views)
+        )
+        unoptimized = sum(
+            d.triangles for d in LodPolicy(
+                viewport_adaptation=False, foveated_rendering=False,
+                distance_aware=False,
+            ).decide(camera, views)
+        )
+        assert unoptimized >= optimized
+        assert unoptimized == len(views) * calibration.PERSONA_TRIANGLES
+
+
+class TestGpuCostInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(_scene_views)
+    def test_cost_positive_and_monotone_in_personas(self, raw):
+        policy = LodPolicy()
+        camera = Camera(np.zeros(3), FWD)
+        gpu = GpuCostModel(noise_std_ms=0.0)
+        views = build_views(raw)
+        decisions = policy.decide(camera, views)
+        full = gpu.frame_time_ms(decisions, noisy=False)
+        fewer = gpu.frame_time_ms(decisions[:-1], noisy=False)
+        assert full > 0
+        assert full >= fewer - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.3, max_value=8.0, allow_nan=False))
+    def test_full_tier_cost_decreases_with_distance(self, distance):
+        # Same triangles, smaller coverage: farther is never pricier.
+        policy = LodPolicy(distance_aware=False, foveated_rendering=False)
+        camera = Camera(np.zeros(3), FWD)
+        gpu = GpuCostModel(noise_std_ms=0.0)
+        near = policy.decide(
+            camera, [PersonaView("a", np.array([0.3, 0.0, 0.0]), 0.0)]
+        )
+        far = policy.decide(
+            camera, [PersonaView("a", np.array([distance, 0.0, 0.0]), 0.0)]
+        )
+        assert gpu.frame_time_ms(far, noisy=False) <= \
+            gpu.frame_time_ms(near, noisy=False) + 1e-9
+
+
+class TestAttentionInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=100))
+    def test_sample_structure(self, n_personas, seed):
+        personas = arrange_personas([f"p{i}" for i in range(n_personas)])
+        attention = AttentionModel(personas, seed=seed)
+        for _ in range(30):
+            sample = attention.step()
+            assert len(sample.views) == n_personas
+            for view in sample.views:
+                assert view.gaze_eccentricity_deg >= 0.0
+            norm = np.linalg.norm(sample.camera.forward)
+            assert norm == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=5))
+    def test_arc_is_symmetric(self, n_personas):
+        personas = arrange_personas([f"p{i}" for i in range(n_personas)])
+        angles = [p.angle_deg for p in personas]
+        assert sum(angles) == pytest.approx(0.0, abs=1e-9)
+        assert angles == sorted(angles)
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=50))
+    def test_session_counters_consistent(self, n_personas, seed):
+        pipeline = RenderPipeline(seed=seed)
+        frames = pipeline.render_session(
+            [f"p{i}" for i in range(n_personas)], duration_s=0.5
+        )
+        assert len(frames) == 45  # 0.5 s at 90 FPS
+        for frame in frames:
+            assert len(frame.decisions) == n_personas
+            assert frame.triangles == sum(
+                d.triangles for d in frame.decisions
+            )
+            assert frame.gpu_ms >= 0.0
+            assert frame.cpu_ms >= 0.0

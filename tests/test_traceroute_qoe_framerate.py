@@ -1,0 +1,143 @@
+"""tcptraceroute, the QoE model, and the frame-rate experiment."""
+
+import pytest
+
+from repro.geo.latency import rtt_ms
+from repro.geo.regions import city
+from repro.geo.traceroute import TcpTraceroute, synthesize_path
+from repro.vca.qoe import (
+    ONE_WAY_DELAY_THRESHOLD_MS,
+    QoeFactors,
+    delay_factor,
+    frame_rate_factor,
+    meets_high_qoe_bar,
+    quality_factor,
+    score,
+)
+
+
+class TestPathSynthesis:
+    def test_final_hop_matches_end_to_end_rtt(self):
+        src, dst = city("san jose"), city("washington")
+        hops = synthesize_path(src, dst)
+        assert hops[-1].cumulative_rtt_ms == pytest.approx(rtt_ms(src, dst))
+
+    def test_cumulative_rtts_monotone(self):
+        hops = synthesize_path(city("san jose"), city("miami"))
+        rtts = [h.cumulative_rtt_ms for h in hops]
+        assert rtts == sorted(rtts)
+
+    def test_longer_paths_have_more_hops(self):
+        short = synthesize_path(city("dallas"), city("kansas"))
+        long = synthesize_path(city("san jose"), city("new york"))
+        assert len(long) > len(short)
+
+    def test_access_hops_present_both_sides(self):
+        hops = synthesize_path(city("dallas"), city("chicago"))
+        names = [h.name for h in hops]
+        assert names[0].startswith("src-access")
+        assert names[-1].startswith("dst-access")
+
+
+class TestTcpTraceroute:
+    def test_destination_rtt_near_model(self):
+        src, dst = city("san jose"), city("washington")
+        tracer = TcpTraceroute(drop_prob=0.0)
+        hops = tracer.run(src, dst, seed=0)
+        assert tracer.destination_rtt_ms(hops) == pytest.approx(
+            rtt_ms(src, dst), abs=4.0
+        )
+
+    def test_silent_hops_render_stars(self):
+        tracer = TcpTraceroute(drop_prob=1.0)
+        hops = tracer.run(city("san jose"), city("washington"), seed=1)
+        output = tracer.format_output(hops)
+        assert "* * *" in output
+
+    def test_destination_always_answers(self):
+        # Even with every intermediate hop silent, the endpoint responds.
+        tracer = TcpTraceroute(drop_prob=1.0)
+        hops = tracer.run(city("san jose"), city("dallas"), seed=2)
+        assert hops[-1].rtts_ms
+
+    def test_probe_count(self):
+        tracer = TcpTraceroute(drop_prob=0.0, probes_per_ttl=5)
+        hops = tracer.run(city("dallas"), city("chicago"), seed=0)
+        assert all(len(h.rtts_ms) == 5 for h in hops)
+
+    def test_invalid_probe_count(self):
+        with pytest.raises(ValueError):
+            TcpTraceroute(probes_per_ttl=0).run(
+                city("dallas"), city("chicago")
+            )
+
+    def test_no_answer_raises(self):
+        from repro.geo.traceroute import TracerouteHop
+
+        with pytest.raises(ValueError):
+            TcpTraceroute.destination_rtt_ms([TracerouteHop(1, "*", [])])
+
+
+class TestQoeFactors:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoeFactors(-1.0, 1.0, 90.0)
+        with pytest.raises(ValueError):
+            QoeFactors(10.0, 1.5, 90.0)
+        with pytest.raises(ValueError):
+            QoeFactors(10.0, 1.0, -90.0)
+
+    def test_delay_factor_flat_below_threshold(self):
+        assert delay_factor(50.0) == 1.0
+        assert delay_factor(ONE_WAY_DELAY_THRESHOLD_MS) == 1.0
+
+    def test_delay_factor_decays_above(self):
+        assert delay_factor(150.0) < 1.0
+        assert delay_factor(400.0) < delay_factor(200.0)
+
+    def test_frame_rate_factor_shape(self):
+        assert frame_rate_factor(90.0) == 1.0
+        assert 0.9 <= frame_rate_factor(75.0) < 1.0
+        assert frame_rate_factor(30.0) < 0.5
+
+    def test_quality_diminishing_returns(self):
+        # Halving triangles costs far less than half the quality.
+        assert quality_factor(0.5) > 0.75
+        assert quality_factor(1.0) == 1.0
+
+    def test_availability_gates_everything(self):
+        dead = QoeFactors(10.0, 0.0, 90.0, 1.0)
+        assert score(dead) == 0.0
+
+    def test_intercontinental_fails_the_bar(self):
+        # The paper's Sec. 4.1 point: >100 ms one-way between continents.
+        good = QoeFactors(40.0, 1.0, 90.0)
+        far = QoeFactors(160.0, 1.0, 90.0)
+        assert meets_high_qoe_bar(good)
+        assert not meets_high_qoe_bar(far)
+
+    def test_bar_validation(self):
+        with pytest.raises(ValueError):
+            meets_high_qoe_bar(QoeFactors(1.0, 1.0, 90.0), bar=0.0)
+
+
+class TestFrameRateExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import framerate
+
+        return framerate.run(duration_s=15.0, seed=0)
+
+    def test_target_held_through_the_cap(self, result):
+        for n in (2, 3, 4, 5):
+            assert result.reports[n].effective_fps > 85.0
+
+    def test_sixth_user_breaks_the_target(self, result):
+        assert result.reports[6].effective_fps < 80.0
+        assert result.reports[6].miss_rate > 0.15
+
+    def test_cap_is_justified(self, result):
+        assert result.cap_is_justified()
+
+    def test_monotone_degradation(self, result):
+        assert result.degrades_monotonically()

@@ -1,0 +1,141 @@
+"""RTCP reports, estimators, and RTT computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.rtcp import (
+    PT_RECEIVER_REPORT,
+    PT_SENDER_REPORT,
+    ReceiverReport,
+    ReceptionEstimator,
+    ReportBlock,
+    SenderReport,
+    parse_rtcp,
+    rtt_from_report,
+    to_ntp_middle,
+)
+
+
+def block(**overrides):
+    defaults = dict(ssrc=7, fraction_lost=10, cumulative_lost=100,
+                    highest_sequence=5000, jitter=42, last_sr=123456,
+                    delay_since_last_sr=6553)
+    defaults.update(overrides)
+    return ReportBlock(**defaults)
+
+
+class TestPackets:
+    def test_sender_report_roundtrip(self):
+        sr = SenderReport(ssrc=99, ntp_seconds=1234.5, rtp_timestamp=90_000,
+                          packet_count=300, byte_count=400_000,
+                          blocks=(block(),))
+        parsed = parse_rtcp(sr.pack())
+        assert isinstance(parsed, SenderReport)
+        assert parsed.ssrc == 99
+        assert parsed.ntp_seconds == pytest.approx(1234.5, abs=1e-6)
+        assert parsed.packet_count == 300
+        assert parsed.blocks[0] == block()
+
+    def test_receiver_report_roundtrip(self):
+        rr = ReceiverReport(ssrc=5, blocks=(block(), block(ssrc=8)))
+        parsed = parse_rtcp(rr.pack())
+        assert isinstance(parsed, ReceiverReport)
+        assert len(parsed.blocks) == 2
+        assert parsed.blocks[1].ssrc == 8
+
+    def test_empty_rr(self):
+        parsed = parse_rtcp(ReceiverReport(ssrc=1).pack())
+        assert parsed.blocks == ()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rtcp(b"\x00\x01")
+        with pytest.raises(ValueError):
+            parse_rtcp(b"\x00" * 16)  # wrong version bits
+
+    def test_rtcp_length_field_consistent(self):
+        packed = SenderReport(1, 1.0, 2, 3, 4).pack()
+        length_words = int.from_bytes(packed[2:4], "big")
+        assert len(packed) == (length_words + 1) * 4
+
+    def test_loss_rate_fraction(self):
+        assert block(fraction_lost=128).loss_rate == pytest.approx(0.5)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=2**24 - 1))
+    def test_block_roundtrip_property(self, ssrc, frac, lost):
+        b = block(ssrc=ssrc, fraction_lost=frac, cumulative_lost=lost)
+        assert ReportBlock.parse(b.pack()) == b
+
+
+class TestEstimator:
+    def test_no_loss_sequence(self):
+        est = ReceptionEstimator(ssrc=1, clock_rate_hz=90_000)
+        for i in range(100):
+            est.on_rtp(i, i * 3000, i / 30.0)
+        assert est.cumulative_lost == 0
+        assert est.expected == 100
+
+    def test_gap_counts_as_loss(self):
+        est = ReceptionEstimator(ssrc=1, clock_rate_hz=90_000)
+        for i in (0, 1, 2, 5, 6):  # 3, 4 lost
+            est.on_rtp(i, i * 3000, i / 30.0)
+        assert est.cumulative_lost == 2
+
+    def test_sequence_wraparound(self):
+        est = ReceptionEstimator(ssrc=1, clock_rate_hz=90_000)
+        for i, seq in enumerate((0xFFFE, 0xFFFF, 0x0000, 0x0001)):
+            est.on_rtp(seq, i * 3000, i / 30.0)
+        assert est.cumulative_lost == 0
+        assert est.extended_highest_sequence == 0x10001
+
+    def test_jitter_zero_for_perfect_timing(self):
+        est = ReceptionEstimator(ssrc=1, clock_rate_hz=90_000)
+        for i in range(50):
+            est.on_rtp(i, i * 3000, i / 30.0)  # exactly on schedule
+        assert est.jitter_seconds == pytest.approx(0.0, abs=1e-9)
+
+    def test_jitter_grows_with_variance(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        est = ReceptionEstimator(ssrc=1, clock_rate_hz=90_000)
+        for i in range(200):
+            est.on_rtp(i, i * 3000, i / 30.0 + rng.uniform(0, 0.005))
+        assert est.jitter_seconds > 0.0005
+
+    def test_report_block_interval_fraction(self):
+        est = ReceptionEstimator(ssrc=1, clock_rate_hz=90_000)
+        for i in range(10):
+            est.on_rtp(i, i * 3000, i / 30.0)
+        first = est.make_report_block(1.0)
+        assert first.fraction_lost == 0
+        # Now lose half of the next interval.
+        for i in range(10, 20, 2):
+            est.on_rtp(i, i * 3000, i / 30.0)
+        second = est.make_report_block(2.0)
+        assert second.fraction_lost > 0
+
+    def test_invalid_clock_rate(self):
+        with pytest.raises(ValueError):
+            ReceptionEstimator(ssrc=1, clock_rate_hz=0)
+
+
+class TestRttComputation:
+    def test_rtt_recovered(self):
+        send_time = 100.0
+        middle = to_ntp_middle(send_time)
+        # Receiver got the SR, waited 0.25 s, then sent its RR; the RR
+        # arrives at the sender 0.35 s after the SR left.
+        b = block(last_sr=middle, delay_since_last_sr=int(0.25 * 65536))
+        rtt = rtt_from_report(b, middle, rr_arrival_s=100.35)
+        assert rtt == pytest.approx(0.10, abs=0.001)
+
+    def test_no_sr_seen_returns_none(self):
+        b = block(last_sr=0)
+        assert rtt_from_report(b, 12345, 10.0) is None
+
+    def test_mismatched_sr_returns_none(self):
+        b = block(last_sr=999)
+        assert rtt_from_report(b, 12345, 10.0) is None

@@ -1,0 +1,117 @@
+"""RTP header codec and packetizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.rtp import (
+    FACETIME_AUDIO_PT,
+    FACETIME_VIDEO_PT,
+    RTP_HEADER_BYTES,
+    RTP_MAX_PAYLOAD,
+    PayloadType,
+    RtpHeader,
+    RtpPacketizer,
+    looks_like_rtp,
+)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = RtpHeader(payload_type=124, sequence=7, timestamp=90000,
+                      ssrc=0xDEADBEEF, marker=True)
+        assert RtpHeader.parse(h.pack()) == h
+
+    def test_header_is_12_bytes(self):
+        h = RtpHeader(1, 2, 3, 4)
+        assert len(h.pack()) == RTP_HEADER_BYTES
+
+    def test_version_bits(self):
+        packed = RtpHeader(1, 2, 3, 4).pack()
+        assert packed[0] >> 6 == 2
+
+    def test_parse_rejects_short_data(self):
+        with pytest.raises(ValueError):
+            RtpHeader.parse(b"\x80\x00")
+
+    def test_parse_rejects_wrong_version(self):
+        data = bytes([0x40]) + b"\x00" * 11
+        with pytest.raises(ValueError):
+            RtpHeader.parse(data)
+
+    def test_sequence_wraps_16_bits(self):
+        h = RtpHeader(1, 0x1FFFF, 3, 4)
+        assert RtpHeader.parse(h.pack()).sequence == 0xFFFF
+
+    @given(
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, pt, seq, ts, ssrc, marker):
+        h = RtpHeader(pt, seq, ts, ssrc, marker)
+        assert RtpHeader.parse(h.pack()) == h
+
+
+class TestPayloadType:
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            PayloadType(128, "x", 90000)
+
+    def test_facetime_pts_are_dynamic(self):
+        # Dynamic RTP payload types live in 96-127.
+        assert 96 <= FACETIME_VIDEO_PT.number <= 127
+        assert 96 <= FACETIME_AUDIO_PT.number <= 127
+
+
+class TestPacketizer:
+    def test_small_frame_single_packet(self):
+        p = RtpPacketizer(FACETIME_VIDEO_PT, ssrc=1)
+        datagrams = p.packetize(b"x" * 100, 0)
+        assert len(datagrams) == 1
+        header = RtpHeader.parse(datagrams[0])
+        assert header.marker  # last (only) packet of the frame
+
+    def test_large_frame_fragments(self):
+        p = RtpPacketizer(FACETIME_VIDEO_PT, ssrc=1)
+        datagrams = p.packetize(b"x" * (RTP_MAX_PAYLOAD * 2 + 10), 0)
+        assert len(datagrams) == 3
+        markers = [RtpHeader.parse(d).marker for d in datagrams]
+        assert markers == [False, False, True]
+
+    def test_sequence_increments_across_frames(self):
+        p = RtpPacketizer(FACETIME_VIDEO_PT, ssrc=1)
+        first = RtpHeader.parse(p.packetize(b"a", 0)[0]).sequence
+        second = RtpHeader.parse(p.packetize(b"b", 1)[0]).sequence
+        assert second == (first + 1) & 0xFFFF
+
+    def test_reassembly_preserves_frame(self):
+        p = RtpPacketizer(FACETIME_VIDEO_PT, ssrc=9)
+        frame = bytes(range(256)) * 12
+        datagrams = p.packetize(frame, 0)
+        rebuilt = b"".join(d[RTP_HEADER_BYTES:] for d in datagrams)
+        assert rebuilt == frame
+
+    def test_empty_frame_rejected(self):
+        p = RtpPacketizer(FACETIME_VIDEO_PT, ssrc=1)
+        with pytest.raises(ValueError):
+            p.packetize(b"", 0)
+
+    def test_timestamp_carried(self):
+        p = RtpPacketizer(FACETIME_VIDEO_PT, ssrc=1)
+        header = RtpHeader.parse(p.packetize(b"x", 123456)[0])
+        assert header.timestamp == 123456
+
+
+class TestHeuristic:
+    def test_rtp_bytes_recognized(self):
+        p = RtpPacketizer(FACETIME_VIDEO_PT, ssrc=1)
+        assert looks_like_rtp(p.packetize(b"x" * 10, 0)[0])
+
+    def test_short_data_rejected(self):
+        assert not looks_like_rtp(b"\x80")
+
+    def test_quic_first_byte_not_rtp(self):
+        assert not looks_like_rtp(bytes([0x40]) + b"\x00" * 20)
+        assert not looks_like_rtp(bytes([0xC0]) + b"\x00" * 20)

@@ -1,0 +1,183 @@
+"""VCA profiles and media sources."""
+
+import numpy as np
+import pytest
+
+from repro import calibration
+from repro.devices.models import MacBook, VisionPro
+from repro.geo.regions import city
+from repro.netsim.engine import Simulator
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.transport.quic import is_quic_datagram
+from repro.transport.rtp import RtpHeader, looks_like_rtp
+from repro.vca.media import (
+    AudioSource,
+    MeshSource,
+    SemanticSource,
+    VideoSource,
+    quic_connection_for,
+)
+from repro.vca.profiles import FACETIME, PROFILES, TEAMS, WEBEX, ZOOM, PersonaKind, Protocol
+
+
+class TestProfiles:
+    def test_only_facetime_supports_spatial(self):
+        assert FACETIME.supports_spatial
+        for profile in (ZOOM, WEBEX, TEAMS):
+            assert not profile.supports_spatial
+
+    def test_spatial_requires_all_vision_pro(self):
+        avp, mac = VisionPro(), MacBook()
+        assert FACETIME.persona_kind([avp, avp]) is PersonaKind.SPATIAL
+        assert FACETIME.persona_kind([avp, mac]) is PersonaKind.TWO_D
+        assert ZOOM.persona_kind([avp, avp]) is PersonaKind.TWO_D
+
+    def test_facetime_protocol_switch(self):
+        avp, mac = VisionPro(), MacBook()
+        assert FACETIME.protocol([avp, avp]) is Protocol.QUIC
+        assert FACETIME.protocol([avp, mac]) is Protocol.RTP
+
+    def test_others_always_rtp(self):
+        avp = VisionPro()
+        for profile in (ZOOM, WEBEX, TEAMS):
+            assert profile.protocol([avp, avp]) is Protocol.RTP
+
+    def test_p2p_policy(self):
+        avp, mac = VisionPro(), MacBook()
+        # FaceTime: P2P for two users unless both are on Vision Pro.
+        assert FACETIME.uses_p2p([avp, mac])
+        assert not FACETIME.uses_p2p([avp, avp])
+        # Zoom: always P2P with two users.
+        assert ZOOM.uses_p2p([avp, avp])
+        # Webex/Teams: never P2P.
+        assert not WEBEX.uses_p2p([avp, avp])
+        assert not TEAMS.uses_p2p([avp, avp])
+
+    def test_no_p2p_beyond_two_users(self):
+        avp = VisionPro()
+        assert not ZOOM.uses_p2p([avp, avp, avp])
+
+    def test_resolutions_match_paper(self):
+        # Sec. 4.2: 1920x1080 on Webex, 640x360 on Zoom.
+        assert WEBEX.video_resolution == (1920, 1080)
+        assert ZOOM.video_resolution == (640, 360)
+
+    def test_registry_complete(self):
+        assert set(PROFILES) == {"FaceTime", "Zoom", "Webex", "Teams"}
+
+
+def run_source(source, duration_s=3.0, **attach_kwargs):
+    """Attach a source between two hosts and collect arrivals at B."""
+    sim = Simulator()
+    network = Network(sim)
+    a = Host("10.0.0.2", city("san jose"), name="A")
+    b = Host("10.0.1.2", city("dallas"), name="B")
+    network.attach(a)
+    network.attach(b)
+    received = []
+    b.bind(40000, received.append)
+    cap = network.start_capture(a.address)
+    source.attach(sim, a, b.address, **attach_kwargs)
+    sim.run(until=duration_s)
+    return received, cap
+
+
+class TestVideoSource:
+    def test_wire_rate_matches_target(self):
+        source = VideoSource(FACETIME.payload_type, target_mbps=2.0, seed=0)
+        received, cap = run_source(source, duration_s=5.0)
+        mbps = cap.total_bytes() * 8 / 5.0 / 1e6
+        assert mbps == pytest.approx(2.0, rel=0.1)
+
+    def test_payload_bytes_are_rtp(self):
+        source = VideoSource(ZOOM.payload_type, target_mbps=1.0, seed=1)
+        received, _ = run_source(source, duration_s=1.0)
+        assert received
+        for packet in received[:5]:
+            assert looks_like_rtp(packet.payload)
+            assert RtpHeader.parse(packet.payload).payload_type == 98
+
+    def test_gop_pattern_visible(self):
+        source = VideoSource(FACETIME.payload_type, target_mbps=2.0, seed=2)
+        frame_sizes = [
+            sum(len(p) for p in source.next_frame_payloads())
+            for _ in range(60)
+        ]
+        i_frames = frame_sizes[0::30]
+        p_frames = frame_sizes[1:29]
+        assert min(i_frames) > 1.5 * np.mean(p_frames)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VideoSource(FACETIME.payload_type, target_mbps=0)
+        with pytest.raises(ValueError):
+            VideoSource(FACETIME.payload_type, target_mbps=1, fps=0)
+
+
+class TestSemanticSource:
+    def test_rate_near_spatial_persona(self):
+        source = SemanticSource(session_secret=b"k" * 32, seed=0, pool_size=64)
+        received, cap = run_source(source, duration_s=3.0)
+        mbps = cap.total_bytes() * 8 / 3.0 / 1e6
+        assert mbps == pytest.approx(calibration.SPATIAL_PERSONA_MBPS, abs=0.08)
+
+    def test_payloads_are_quic(self):
+        source = SemanticSource(session_secret=b"k" * 32, seed=0, pool_size=16)
+        received, _ = run_source(source, duration_s=0.5)
+        assert received
+        assert all(is_quic_datagram(p.payload) for p in received)
+
+    def test_handshake_precedes_media(self):
+        source = SemanticSource(session_secret=b"k" * 32, seed=0, pool_size=16)
+        received, _ = run_source(source, duration_s=0.5)
+        kinds = [p.meta["kind"] for p in received[:3]]
+        assert kinds[0] == "quic-initial"
+        assert kinds[1] == "quic-handshake"
+
+    def test_frames_decodable_by_receiver(self):
+        secret = b"k" * 32
+        source = SemanticSource(session_secret=secret, seed=0, pool_size=16)
+        received, _ = run_source(source, duration_s=0.5)
+        media = [p for p in received if p.meta["kind"] == "semantic"]
+        conn = quic_connection_for("10.0.0.2", secret)
+        from repro.keypoints.codec import EncodedKeypointFrame, SemanticCodec
+
+        decoded = SemanticCodec().decode(
+            EncodedKeypointFrame(conn.unprotect(media[0].payload))
+        )
+        assert decoded.points.shape == (74, 3)
+
+    def test_pool_size_validated(self):
+        with pytest.raises(ValueError):
+            SemanticSource(session_secret=b"k", pool_size=0)
+
+
+class TestMeshSource:
+    def test_rate_matches_draco_experiment(self):
+        source = MeshSource(seed=0)
+        expected = source.mean_frame_bytes * 8 * 90 / 1e6
+        paper_mean, paper_std = calibration.DRACO_STREAMING_MBPS
+        assert abs(expected - paper_mean) < 2 * paper_std
+
+    def test_frames_fragment_to_mtu(self):
+        source = MeshSource(seed=0)
+        received, _ = run_source(source, duration_s=0.05)
+        assert len(received) > 50  # ~150 KB frame in 1.2 KB chunks
+
+
+class TestAudioSource:
+    def test_rtp_audio_rate(self):
+        source = AudioSource(bitrate_kbps=32.0, seed=0)
+        received, cap = run_source(source, duration_s=4.0)
+        kbps = cap.total_bytes() * 8 / 4.0 / 1e3
+        assert 30 < kbps < 60  # payload target plus headers
+
+    def test_quic_audio_when_secret_given(self):
+        source = AudioSource(bitrate_kbps=32.0, seed=0, session_secret=b"k" * 32)
+        received, _ = run_source(source, duration_s=0.5)
+        assert all(is_quic_datagram(p.payload) for p in received)
+
+    def test_invalid_bitrate(self):
+        with pytest.raises(ValueError):
+            AudioSource(bitrate_kbps=0)
