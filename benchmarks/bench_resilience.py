@@ -1,0 +1,15 @@
+"""Bench: the resilience study (fault gauntlet across the four VCAs)."""
+
+from repro.experiments import resilience
+
+
+def test_resilience_study(benchmark):
+    result = benchmark.pedantic(
+        resilience.run, kwargs={"duration_s": 20.0, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    assert result.all_recovered()
+    # Relayed profiles fail over; the P2P profile has no relay to lose.
+    assert result.row("FaceTime").failovers >= 1
+    assert result.row("Zoom").failovers == 0

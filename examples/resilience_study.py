@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Beyond the paper: how the telepresence stack survives a hostile network.
+
+The paper measures the four VCAs on a clean testbed.  This study throws
+the standard fault gauntlet at each of them — a link blackout, a relay
+outage, a loss burst, a bandwidth collapse, and a WiFi degradation — with
+the resilience runtime enabled, and reports how gracefully each call
+degrades and recovers:
+
+- the graceful-degradation ladder (textured mesh -> simplified mesh ->
+  keypoints -> audio-only) walks down under pressure and climbs back,
+- relayed sessions detect the dead relay and fail over to the best
+  healthy server of the fleet (exponential backoff while none exists),
+- the receiver-side report gives per-fault time-to-recover, stall time,
+  ladder occupancy, and the windowed MOS under faults.
+
+Run with ``PYTHONPATH=src python examples/resilience_study.py``.
+"""
+
+from repro.experiments import resilience
+from repro.faults import FaultSchedule, ResilienceConfig
+from repro.core.testbed import default_two_user_testbed
+from repro.vca.profiles import PROFILES
+
+DURATION_S = 30.0
+
+
+def main() -> None:
+    print("=== The standard gauntlet, all four profiles ===")
+    study = resilience.run(duration_s=DURATION_S, seed=0)
+    print(study.format_table())
+    print(f"all profiles recovered: {study.all_recovered()}")
+
+    print("\n=== FaceTime in detail ===")
+    detail = study.details["FaceTime"]
+    report = detail.report(resilience.OBSERVER, resilience.VICTIM)
+    for rec in report.recoveries:
+        state = ("absorbed by the ladder" if rec.absorbed
+                 else f"recovered in {rec.time_to_recover_s:.2f} s")
+        print(f"  {rec.event.kind.value:18s} at t={rec.event.start_s:5.1f}s"
+              f"  -> {state}")
+    for event in detail.reconnect_events:
+        print(f"  relay failover {event.from_server} -> {event.to_server}"
+              f" (downtime {event.downtime_s * 1000:.0f} ms)")
+    ladder = detail.ladders[resilience.VICTIM]
+    print("  ladder walk:")
+    for time_s, level in ladder.transitions:
+        print(f"    t={time_s:5.2f}s  {level.name}")
+
+    print("\n=== Same seed, same gauntlet, identical outcome ===")
+    again = resilience.run(duration_s=DURATION_S, seed=0,
+                           profiles=("FaceTime",))
+    identical = (
+        again.row("FaceTime") == study.row("FaceTime")
+        and again.details["FaceTime"].ladders[resilience.VICTIM].transitions
+        == ladder.transitions
+    )
+    print(f"deterministic: {identical}")
+
+    print("\n=== A seeded-random storm (FaceTime) ===")
+    schedule = FaultSchedule.random(
+        seed=23, duration_s=DURATION_S, targets=["U1", "U2"],
+        events_per_minute=12.0,
+    )
+    session = default_two_user_testbed().session(
+        PROFILES["FaceTime"], seed=0,
+        faults=schedule, resilience=ResilienceConfig(),
+    )
+    result = session.run(DURATION_S).resilience
+    report = result.report("U1", "U2")
+    print(f"faults drawn: {len(schedule)}, stall {report.total_stall_s:.2f} s,"
+          f" MOS {report.mos_mean:.2f}, recovered {report.all_recovered}")
+
+
+if __name__ == "__main__":
+    main()

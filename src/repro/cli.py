@@ -41,6 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig5", "Fig. 5: visibility-aware optimizations"),
         ("fig6", "Fig. 6: scalability 2-5 users"),
         ("ablations", "A1-A5 ablations"),
+        ("resilience", "fault gauntlet: recovery, ladder occupancy, MOS"),
         ("validate", "re-check every calibrated anchor against the paper"),
         ("report", "full markdown reproduction report"),
     ):
@@ -153,6 +154,21 @@ def _cmd_ablations(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from repro.experiments import resilience
+
+    duration = max(args.duration, 10.0)  # the gauntlet needs >= 10 s
+    result = resilience.run(duration_s=duration, seed=args.seed)
+    print(result.format_table())
+    print(f"all profiles recovered: {result.all_recovered()}")
+    facetime = result.details["FaceTime"]
+    for event in facetime.reconnect_events:
+        print(f"FaceTime failover: {event.from_server} -> {event.to_server} "
+              f"(downtime {event.downtime_s * 1000:.0f} ms, "
+              f"{event.attempts + 1} attempt(s))")
+    return 0 if result.all_recovered() else 1
+
+
 def _cmd_validate(args) -> int:
     from repro.analysis.comparison import format_report, validate_all
 
@@ -189,6 +205,7 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
     "ablations": _cmd_ablations,
+    "resilience": _cmd_resilience,
     "validate": _cmd_validate,
     "report": _cmd_report,
 }

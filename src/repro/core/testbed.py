@@ -39,14 +39,22 @@ class Testbed:
             raise ValueError(f"duplicate user ids: {ids}")
 
     def session(self, profile: VcaProfile, seed: int = 0,
-                initiator_index: int = 0) -> TelepresenceSession:
-        """Create (but do not run) a session on this testbed."""
+                initiator_index: int = 0, faults=None,
+                resilience=None) -> TelepresenceSession:
+        """Create (but do not run) a session on this testbed.
+
+        ``faults`` / ``resilience`` pass through to
+        :class:`~repro.vca.session.TelepresenceSession` and enable the
+        fault-injection + resilience runtime.
+        """
         return TelepresenceSession(
             profile,
             self.participants,
             initiator_index=initiator_index,
             seed=seed,
             path_model=self.path_model,
+            faults=faults,
+            resilience=resilience,
         )
 
     @property

@@ -14,6 +14,8 @@ Module                    Reproduces
 ``fig6``                  Fig. 6: scalability (triangles, CPU/GPU, downlink)
 ``ablations``             A1 delivery-side culling, A2 geo-distributed
                           servers, A3 occlusion-aware rendering
+``resilience``            Beyond the paper: the four profiles under the
+                          standard fault gauntlet (recovery, ladder, MOS)
 ========================  ====================================================
 """
 
@@ -27,6 +29,7 @@ from repro.experiments import (  # noqa: F401
     framerate,
     protocols,
     qoe_study,
+    resilience,
     shareplay,
     rate_adaptation,
     table1,
@@ -43,6 +46,7 @@ __all__ = [
     "ablations",
     "framerate",
     "qoe_study",
+    "resilience",
     "shareplay",
     "cloud_rendering",
 ]

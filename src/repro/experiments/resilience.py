@@ -1,0 +1,152 @@
+"""Resilience study: the four VCA profiles under the standard disturbance.
+
+The paper measures the VCAs on a clean testbed; this study asks the
+obvious next question — what happens when the network misbehaves mid-call?
+Every profile faces the identical scripted gauntlet
+(:func:`~repro.faults.schedule.standard_disturbance`: a link blackout, a
+server outage, a loss burst, a bandwidth collapse, and a WiFi
+degradation) with the resilience runtime enabled, and the study reports
+how gracefully each one degrades and how fast it recovers:
+
+- **time-to-recover** per fault and in aggregate (mean / max),
+- **stall time** — seconds with no persona media at the observer,
+- **ladder occupancy** — the fraction of the call spent on each rung of
+  the graceful-degradation ladder,
+- **MOS under faults** — the windowed QoE score, averaged,
+- **failovers** — relay reconnects (P2P profiles skip the server outage
+  by construction: there is no relay to lose).
+
+Two runs with the same seed produce identical studies — the whole fault
+path is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.testbed import default_two_user_testbed
+from repro.faults.ladder import LadderLevel
+from repro.faults.metrics import ResilienceReport
+from repro.faults.resilient import ResilienceConfig, SessionResilience
+from repro.faults.schedule import standard_disturbance
+from repro.vca.profiles import PROFILES
+
+#: Who gets disturbed and who watches them, in the default testbed.
+VICTIM = "U2"
+OBSERVER = "U1"
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One profile's outcome under the standard disturbance."""
+
+    profile: str
+    persona: str
+    p2p: bool
+    mos_mean: float
+    total_stall_s: float
+    mean_ttr_s: float
+    max_ttr_s: float
+    failovers: int
+    occupancy: Dict[LadderLevel, float]
+    recovered: bool
+
+    @property
+    def top_rung_fraction(self) -> float:
+        """Fraction of the call spent at full fidelity."""
+        return self.occupancy.get(LadderLevel.TEXTURED_MESH, 0.0)
+
+    @property
+    def audio_only_fraction(self) -> float:
+        """Fraction of the call spent at the bottom rung."""
+        return self.occupancy.get(LadderLevel.AUDIO_ONLY, 0.0)
+
+
+@dataclass
+class ResilienceStudyResult:
+    """The study across profiles, plus the raw per-session detail."""
+
+    duration_s: float
+    rows: List[ResilienceRow]
+    details: Dict[str, SessionResilience]
+
+    def row(self, profile: str) -> ResilienceRow:
+        """The row of one profile."""
+        return next(r for r in self.rows if r.profile == profile)
+
+    def all_recovered(self) -> bool:
+        """Every profile's media recovered from every fault."""
+        return all(r.recovered for r in self.rows)
+
+    def format_table(self) -> str:
+        """Printable study."""
+        lines = [
+            "profile     persona   p2p    MOS  stall_s  mean_ttr  max_ttr"
+            "  failover  top%  audio%  recovered"
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.profile:10s}  {r.persona:8s}  {str(r.p2p):5s}"
+                f"  {r.mos_mean:4.2f}  {r.total_stall_s:7.2f}"
+                f"  {r.mean_ttr_s:8.2f}  {r.max_ttr_s:7.2f}"
+                f"  {r.failovers:8d}  {r.top_rung_fraction:4.0%}"
+                f"  {r.audio_only_fraction:6.0%}  {str(r.recovered)}"
+            )
+        return "\n".join(lines)
+
+
+def run_profile(
+    profile_name: str,
+    duration_s: float = 30.0,
+    seed: int = 0,
+    config: Optional[ResilienceConfig] = None,
+) -> Tuple[ResilienceRow, SessionResilience]:
+    """Run one profile through the standard disturbance.
+
+    Raises:
+        KeyError: For an unknown profile name.
+    """
+    profile = PROFILES[profile_name]
+    testbed = default_two_user_testbed()
+    session = testbed.session(
+        profile, seed=seed,
+        faults=standard_disturbance(duration_s, victim=VICTIM),
+        resilience=config or ResilienceConfig(),
+    )
+    result = session.run(duration_s)
+    resilience = result.resilience
+    assert resilience is not None  # faults were given, so the runtime ran
+    report: ResilienceReport = resilience.report(OBSERVER, VICTIM)
+    ladder = resilience.ladders[VICTIM]
+    row = ResilienceRow(
+        profile=profile_name,
+        persona=result.persona_kind.value,
+        p2p=result.p2p,
+        mos_mean=report.mos_mean,
+        total_stall_s=report.total_stall_s,
+        mean_ttr_s=report.mean_ttr_s,
+        max_ttr_s=report.max_ttr_s,
+        failovers=resilience.reconnects,
+        occupancy=ladder.occupancy_fractions(duration_s),
+        recovered=report.all_recovered,
+    )
+    return row, resilience
+
+
+def run(
+    profiles: Sequence[str] = ("FaceTime", "Zoom", "Webex", "Teams"),
+    duration_s: float = 30.0,
+    seed: int = 0,
+    config: Optional[ResilienceConfig] = None,
+) -> ResilienceStudyResult:
+    """The full study: every profile, same seed, same gauntlet."""
+    rows: List[ResilienceRow] = []
+    details: Dict[str, SessionResilience] = {}
+    for name in profiles:
+        row, detail = run_profile(name, duration_s, seed, config)
+        rows.append(row)
+        details[name] = detail
+    return ResilienceStudyResult(
+        duration_s=duration_s, rows=rows, details=details
+    )

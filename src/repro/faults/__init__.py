@@ -1,0 +1,101 @@
+"""Fault injection and graceful degradation for the telepresence stack.
+
+The subsystem has two halves:
+
+- **breaking things**: :mod:`~repro.faults.schedule` describes *what*
+  breaks and when; :mod:`~repro.faults.injector` realizes a schedule on
+  a live simulation through the netsim fault hooks (link faults, AP
+  degradation, in-flight revocation via cancellable event handles);
+- **surviving them**: the graceful-degradation ladder
+  (:mod:`~repro.faults.ladder`, :mod:`~repro.faults.sources`), session
+  reconnect with backoff and server failover
+  (:mod:`~repro.faults.reconnect`), and the resilience metrics that
+  judge the outcome (:mod:`~repro.faults.metrics`).
+
+:mod:`~repro.faults.resilient` ties both halves into
+:class:`~repro.vca.session.TelepresenceSession`.
+"""
+
+from repro.faults.injector import (
+    WIFI_DEGRADATION_JITTER_MS,
+    WIFI_DEGRADATION_LOSS,
+    FaultInjector,
+    FaultLogEntry,
+)
+from repro.faults.ladder import (
+    DOWN_RATIO,
+    LEVEL_QUALITY,
+    UP_STREAK,
+    DegradationLadder,
+    LadderLevel,
+    next_level,
+    sustainable_level,
+)
+from repro.faults.metrics import (
+    FaultRecovery,
+    ResilienceReport,
+    ResilienceTracker,
+    Stall,
+    find_stalls,
+    mos_timeline,
+    recovery_of,
+)
+from repro.faults.reconnect import (
+    BackoffPolicy,
+    ReconnectEvent,
+    ReconnectManager,
+)
+from repro.faults.resilient import (
+    ResilienceConfig,
+    ResilienceRuntime,
+    SessionResilience,
+    derive_fault_seed,
+)
+from repro.faults.schedule import (
+    SERVER_TARGET,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    standard_disturbance,
+)
+from repro.faults.sources import (
+    VIDEO_SCALE,
+    LadderedPersonaSource,
+    video_scale_for_level,
+)
+
+__all__ = [
+    "SERVER_TARGET",
+    "DOWN_RATIO",
+    "LEVEL_QUALITY",
+    "UP_STREAK",
+    "VIDEO_SCALE",
+    "WIFI_DEGRADATION_JITTER_MS",
+    "WIFI_DEGRADATION_LOSS",
+    "BackoffPolicy",
+    "DegradationLadder",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLogEntry",
+    "FaultRecovery",
+    "FaultSchedule",
+    "LadderLevel",
+    "LadderedPersonaSource",
+    "ReconnectEvent",
+    "ReconnectManager",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "ResilienceRuntime",
+    "ResilienceTracker",
+    "SessionResilience",
+    "Stall",
+    "derive_fault_seed",
+    "find_stalls",
+    "mos_timeline",
+    "next_level",
+    "recovery_of",
+    "standard_disturbance",
+    "sustainable_level",
+    "video_scale_for_level",
+]

@@ -10,6 +10,7 @@ see implausibly low RTTs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -48,7 +49,10 @@ class GeoDatabase:
             KeyError: If the address has no record, like a miss in MaxMind.
         """
         true = self._records[address]
-        rng = np.random.default_rng(abs(hash(address)) % (2**32))
+        # sha256, not hash(): str hashing is salted per process, which
+        # would move the displacement between runs (PYTHONHASHSEED).
+        digest = hashlib.sha256(address.encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:4], "little"))
         bearing = rng.uniform(0.0, 2.0 * np.pi)
         dlat = (self.error_km / 111.0) * np.sin(bearing)
         dlon = (self.error_km / (111.0 * max(np.cos(np.radians(true.lat)), 0.1))) * np.cos(bearing)

@@ -18,7 +18,7 @@ import numpy as np
 from repro.geo.coords import GeoPoint
 from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
 from repro.geo.regions import all_clients
-from repro.geo.servers import ServerFleet
+from repro.geo.servers import Server, ServerFleet
 
 #: Candidate placement sites: a coarse grid over the continental US.
 _US_LAT = np.arange(26.0, 49.0, 2.0)
@@ -48,6 +48,35 @@ def mean_rtt_ms(servers: Sequence[GeoPoint],
     for client in clients:
         total += min(model.base_rtt_ms(client, s) for s in servers)
     return total / len(clients)
+
+
+def rank_failover_servers(
+    fleet: ServerFleet,
+    participants: Sequence[GeoPoint],
+    exclude: Sequence[str] = (),
+) -> List[Server]:
+    """Failover preference order for a session's relay.
+
+    Healthy fleet servers (addresses not in ``exclude``) sorted by mean
+    RTT to the session's participants — the placement-aware analog of the
+    initiator-nearest policy, used when the selected relay goes dark.
+    Ties break by server label for determinism.
+
+    Raises:
+        ValueError: With no participants.
+    """
+    if not participants:
+        raise ValueError("need at least one participant")
+    excluded = set(exclude)
+    candidates = [s for s in fleet.servers if s.address not in excluded]
+
+    def mean_rtt(server: Server) -> float:
+        return sum(
+            fleet.path_model.base_rtt_ms(p, server.location)
+            for p in participants
+        ) / len(participants)
+
+    return sorted(candidates, key=lambda s: (mean_rtt(s), s.label))
 
 
 @dataclass(frozen=True)

@@ -3,6 +3,14 @@
 The simulator is a plain priority queue of timestamped callbacks.  Ties are
 broken by insertion order, which makes runs fully deterministic for a given
 seed and schedule — a property the test suite relies on.
+
+Every ``schedule``/``schedule_at`` call returns an :class:`EventHandle` that
+can be passed to :meth:`Simulator.cancel` to revoke the event before it
+fires.  Cancellation is lazy: the queue entry stays in the heap and is
+skipped (without advancing the clock) when it reaches the front, so
+cancelling is O(1) and the heap invariant is never disturbed.  The fault
+layer uses this to revoke in-flight packet deliveries when a link blacks
+out mid-transfer.
 """
 
 from __future__ import annotations
@@ -12,37 +20,96 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "_seq", "_cancelled", "_fired")
+
+    def __init__(self, time: float, seq: int) -> None:
+        self.time = time
+        self._seq = seq
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`Simulator.cancel` revoked this event."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback already ran."""
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        """Still queued: neither fired nor cancelled."""
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else (
+            "fired" if self._fired else "pending"
+        )
+        return f"EventHandle(t={self.time:.6f}, {state})"
+
+
 class Simulator:
     """Event loop with a simulated clock measured in seconds."""
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._queue: List[
+            Tuple[float, int, Callable[[], Any], EventHandle]
+        ] = []
         self._counter = itertools.count()
         self._running = False
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> None:
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
         """Run ``callback`` ``delay`` seconds from now.
+
+        Returns:
+            A cancellable handle for the scheduled event.
 
         Raises:
             ValueError: If ``delay`` is negative — the past is immutable.
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback)
 
-    def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
-        """Run ``callback`` at absolute simulated ``time``."""
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+        """Run ``callback`` at absolute simulated ``time``.
+
+        Returns:
+            A cancellable handle for the scheduled event.
+        """
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time:.6f}, clock already at {self._now:.6f}"
             )
-        heapq.heappush(self._queue, (time, next(self._counter), callback))
+        handle = EventHandle(time, next(self._counter))
+        heapq.heappush(self._queue, (time, handle._seq, callback, handle))
+        return handle
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Revoke a scheduled event before it fires.
+
+        Returns:
+            True when the event was still pending and is now cancelled;
+            False when it had already fired or was already cancelled
+            (cancelling twice is a harmless no-op).
+        """
+        if not handle.active:
+            return False
+        handle._cancelled = True
+        self._cancelled_pending += 1
+        return True
 
     def schedule_every(
         self,
@@ -78,17 +145,33 @@ class Simulator:
         Args:
             until: Stop once the clock would pass this time; remaining
                 events stay queued.  When None, drain the queue completely.
+
+        Raises:
+            ValueError: If ``until`` lies before the current clock — time
+                cannot run backwards.
         """
         if self._running:
             raise RuntimeError("simulator is not reentrant")
+        if until is not None and until < self._now:
+            raise ValueError(
+                f"cannot run until {until:.6f}, clock already at "
+                f"{self._now:.6f}"
+            )
         self._running = True
         try:
             while self._queue:
-                time, _seq, callback = self._queue[0]
+                time, _seq, callback, handle = self._queue[0]
+                if handle._cancelled:
+                    # Skip without touching the clock: a cancelled event
+                    # must leave no observable trace.
+                    heapq.heappop(self._queue)
+                    self._cancelled_pending -= 1
+                    continue
                 if until is not None and time > until:
                     break
                 heapq.heappop(self._queue)
                 self._now = time
+                handle._fired = True
                 callback()
             if until is not None and until > self._now:
                 self._now = until
@@ -96,5 +179,5 @@ class Simulator:
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled_pending

@@ -47,8 +47,22 @@ class Link:
         self.queue_bytes = queue_bytes
         self.name = name
         self.stats = LinkStats()
+        self.up = True
         self._busy_until = 0.0
         self._queued_bytes = 0
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link rate mid-run (fault injection, modulation).
+
+        Packets already accepted keep their original departure times; only
+        packets offered after the change see the new rate.
+
+        Raises:
+            ValueError: For a non-positive rate.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.rate_bps = rate_bps
 
     def serialization_delay(self, packet: Packet) -> float:
         """Seconds needed to clock the packet onto the wire."""
@@ -80,6 +94,9 @@ class Link:
         Returns:
             False when the drop-tail queue rejected the packet.
         """
+        if not self.up:
+            self.stats.packets_dropped += 1
+            return False
         now = sim.now
         if self.backlog_bytes(now) + packet.wire_bytes > self.queue_bytes:
             self.stats.packets_dropped += 1

@@ -12,20 +12,54 @@ Packets traverse, in order:
 Captures observe uplink packets as they clear the sender's AP and downlink
 packets as they arrive at the receiver's AP — the same vantage Wireshark has
 in the paper's testbed.
+
+Fault injection hooks: every attachment can carry a :class:`LinkFault`
+(blackout, burst loss, burst jitter) installed by
+:class:`repro.faults.injector.FaultInjector`.  Sender-side faults act before
+the AP uplink (the sender's capture never sees the packet, like a radio
+drop); receiver-side faults act before the receiver's AP capture (the loss
+happened upstream of the Wireshark vantage).  In-flight core crossings are
+tracked per destination so a blackout can revoke them via the simulator's
+cancellable event handles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
+
+import numpy as np
 
 from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
 from repro.netsim.capture import PacketCapture
-from repro.netsim.engine import Simulator
+from repro.netsim.engine import EventHandle, Simulator
 from repro.netsim.node import Host
 from repro.netsim.packet import Packet
 from repro.netsim.shaper import TrafficShaper
 from repro.netsim.wifi import WiFiAccessPoint
+
+
+@dataclass
+class LinkFault:
+    """Transient impairment of one host's point of attachment.
+
+    Attributes:
+        blackout: Drop every packet to or from the host.
+        loss: Extra independent per-packet drop probability in [0, 1].
+        jitter_ms: Amplitude of extra uniform random one-way delay.
+        packets_dropped: Packets this fault has destroyed so far.
+    """
+
+    blackout: bool = False
+    loss: float = 0.0
+    jitter_ms: float = 0.0
+    packets_dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {self.loss}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter_ms}")
 
 
 @dataclass
@@ -37,6 +71,8 @@ class _Attachment:
     uplink_shaper: Optional[TrafficShaper] = None
     downlink_shaper: Optional[TrafficShaper] = None
     capture: Optional[PacketCapture] = None
+    fault: Optional[LinkFault] = None
+    inflight: Set[EventHandle] = field(default_factory=set)
 
 
 @dataclass
@@ -56,6 +92,7 @@ class Network:
         self.path_model = path_model or DEFAULT_PATH_MODEL
         self.stats = NetworkStats()
         self._attachments: Dict[str, _Attachment] = {}
+        self._fault_rng: Optional[np.random.Generator] = None
 
     def attach(
         self,
@@ -106,6 +143,74 @@ class Network:
         return self.path_model.one_way_ms(src.location, dst.location) / 1000.0
 
     # ------------------------------------------------------------------
+    # Fault-injection surface
+    # ------------------------------------------------------------------
+
+    def seed_faults(self, seed: int) -> None:
+        """(Re)seed the RNG behind fault loss/jitter processes.
+
+        The fault layer calls this with a seed derived from the session
+        seed so fault runs are exactly reproducible.  Without faults this
+        RNG is never drawn from, keeping clean runs byte-identical.
+        """
+        self._fault_rng = np.random.default_rng(seed)
+
+    def _rng(self) -> np.random.Generator:
+        if self._fault_rng is None:
+            self._fault_rng = np.random.default_rng(0)
+        return self._fault_rng
+
+    def set_fault(self, address: str, fault: Optional[LinkFault]) -> None:
+        """Install (or clear, with None) a fault on a host's attachment."""
+        self._attachments[address].fault = fault
+
+    def fault_of(self, address: str) -> Optional[LinkFault]:
+        """The currently installed fault of an attachment, if any."""
+        return self._attachments[address].fault
+
+    def is_blacked_out(self, address: str) -> bool:
+        """Whether the attachment currently drops all traffic."""
+        fault = self._attachments[address].fault
+        return fault is not None and fault.blackout
+
+    def drop_inflight(self, address: str) -> int:
+        """Revoke every core crossing currently headed to ``address``.
+
+        Uses the simulator's cancellable handles — this is what makes a
+        blackout instantaneous instead of "no *new* packets".  Returns the
+        number of deliveries revoked.
+        """
+        attachment = self._attachments[address]
+        dropped = 0
+        for handle in attachment.inflight:
+            if self.sim.cancel(handle):
+                dropped += 1
+        attachment.inflight.clear()
+        self.stats.packets_dropped += dropped
+        if attachment.fault is not None:
+            attachment.fault.packets_dropped += dropped
+        return dropped
+
+    def _fault_drops(self, fault: Optional[LinkFault]) -> bool:
+        """Whether ``fault`` destroys the next packet (draws RNG on loss)."""
+        if fault is None:
+            return False
+        if fault.blackout:
+            fault.packets_dropped += 1
+            return True
+        if fault.loss > 0.0 and self._rng().random() < fault.loss:
+            fault.packets_dropped += 1
+            return True
+        return False
+
+    def _fault_jitter_s(self, *faults: Optional[LinkFault]) -> float:
+        """Extra one-way delay contributed by active jitter faults."""
+        amplitude_ms = sum(f.jitter_ms for f in faults if f is not None)
+        if amplitude_ms <= 0.0:
+            return 0.0
+        return float(self._rng().uniform(0.0, amplitude_ms)) / 1000.0
+
+    # ------------------------------------------------------------------
     # The forwarding path
     # ------------------------------------------------------------------
 
@@ -119,6 +224,10 @@ class Network:
             raise KeyError(f"unknown destination address {packet.dst}")
         packet.created_at = self.sim.now
         self.stats.packets_sent += 1
+
+        if self._fault_drops(sender.fault):
+            self.stats.packets_dropped += 1
+            return False
 
         if sender.uplink_shaper is not None:
             accepted = sender.uplink_shaper.process(
@@ -146,9 +255,20 @@ class Network:
         delay = self.path_model.one_way_ms(
             sender.host.location, receiver.host.location
         ) / 1000.0
-        self.sim.schedule(delay, lambda: self._arrive_at_receiver(receiver, packet))
+        if sender.fault is not None or receiver.fault is not None:
+            delay += self._fault_jitter_s(sender.fault, receiver.fault)
+
+        def arrive() -> None:
+            receiver.inflight.discard(handle)
+            self._arrive_at_receiver(receiver, packet)
+
+        handle = self.sim.schedule(delay, arrive)
+        receiver.inflight.add(handle)
 
     def _arrive_at_receiver(self, receiver: _Attachment, packet: Packet) -> None:
+        if self._fault_drops(receiver.fault):
+            self.stats.packets_dropped += 1
+            return
         if receiver.capture is not None:
             receiver.capture.observe(self.sim.now, packet)
         if receiver.downlink_shaper is not None:

@@ -28,9 +28,36 @@ class WiFiAccessPoint:
             raise ValueError(f"AP throughput must be positive, got {throughput_mbps}")
         rate_bps = throughput_mbps * 1e6
         self.name = name
+        self.base_rate_bps = rate_bps
         self.uplink = Link(rate_bps, queue_bytes=queue_bytes, name=f"{name}-up")
         self.downlink = Link(rate_bps, queue_bytes=queue_bytes, name=f"{name}-down")
         self._capture: Optional[PacketCapture] = None
+        self._degradation = 1.0
+
+    @property
+    def degradation(self) -> float:
+        """Current rate factor relative to the clean radio (1.0 = clean)."""
+        return self._degradation
+
+    def degrade(self, factor: float) -> None:
+        """Scale both directional links to ``factor`` of the base rate.
+
+        Models radio degradation (interference, distance, rain fade for a
+        fixed-wireless backhaul).  Calling again replaces — not stacks —
+        the previous factor; :meth:`restore` sets it back to 1.0.
+
+        Raises:
+            ValueError: If ``factor`` is not in (0, 1].
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1], got {factor}")
+        self._degradation = factor
+        self.uplink.set_rate(self.base_rate_bps * factor)
+        self.downlink.set_rate(self.base_rate_bps * factor)
+
+    def restore(self) -> None:
+        """Return both links to the clean base rate."""
+        self.degrade(1.0)
 
     def start_capture(self, host_address: str) -> PacketCapture:
         """Begin a Wireshark-style capture for ``host_address`` at this AP."""

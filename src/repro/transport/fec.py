@@ -87,11 +87,13 @@ def _strip_length(buffer: bytes) -> bytes:
 class FecEncoder:
     """Groups source payloads and emits XOR parity after every ``k``."""
 
-    def __init__(self, k: int = 4) -> None:
+    def __init__(self, k: int = 4, first_group: int = 0) -> None:
         if k < 2:
             raise ValueError("k must be at least 2")
+        if first_group < 0:
+            raise ValueError("first group cannot be negative")
         self.k = k
-        self._group = 0
+        self._group = first_group
         self._index = 0
         self._parity = b""
         self.parity_packets_sent = 0
@@ -115,6 +117,50 @@ class FecEncoder:
     def overhead_fraction(self) -> float:
         """Bandwidth overhead of the parity stream (1/k in packets)."""
         return 1.0 / self.k
+
+    @property
+    def next_group(self) -> int:
+        """Group id the next full group will use (for encoder handover)."""
+        return self._group + (1 if self._index else 0)
+
+
+class AdaptiveFecPolicy:
+    """Maps observed loss to an FEC group size — or None to disable.
+
+    More loss buys more redundancy (smaller ``k``, larger parity share);
+    clean links pay nothing.  The mapping is monotone non-increasing in
+    ``k`` as loss grows, which the property tests check, and hysteresis is
+    left to the caller's control interval (re-evaluating once per interval
+    is damping enough for the simulated streams).
+    """
+
+    def __init__(self, enable_at: float = 0.005,
+                 thresholds: Optional[List[tuple]] = None) -> None:
+        if not 0.0 <= enable_at < 1.0:
+            raise ValueError("enable threshold must be in [0, 1)")
+        self.enable_at = enable_at
+        # (loss at least, k) rungs, most aggressive first.
+        self._thresholds = thresholds or [(0.15, 2), (0.05, 3), (0.0, 4)]
+
+    def k_for_loss(self, loss: float) -> Optional[int]:
+        """Group size for an observed loss fraction (None = FEC off).
+
+        Raises:
+            ValueError: For a loss outside [0, 1].
+        """
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {loss}")
+        if loss < self.enable_at:
+            return None
+        for at_least, k in self._thresholds:
+            if loss >= at_least:
+                return k
+        return self._thresholds[-1][1]
+
+    def overhead_for_loss(self, loss: float) -> float:
+        """Parity bandwidth share the policy spends at this loss level."""
+        k = self.k_for_loss(loss)
+        return 0.0 if k is None else 1.0 / k
 
 
 class FecDecoder:

@@ -133,8 +133,13 @@ class DynamicSession:
                   until_s: Optional[float]) -> None:
         host = self._hosts[user_id]
         self.sfu.register(host.address, MEDIA_PORT)
+        # sha256, not hash(): str hashing is salted per process, which
+        # would change media payloads between runs (PYTHONHASHSEED).
+        user_tag = int.from_bytes(
+            hashlib.sha256(user_id.encode()).digest()[:4], "little"
+        )
         source = SemanticSource(
-            self.secret, seed=self.seed * 100 + hash(user_id) % 97
+            self.secret, seed=self.seed * 100 + user_tag % 97
         )
         source.attach(
             self.sim, host, self.sfu.address,

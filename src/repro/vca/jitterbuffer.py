@@ -71,6 +71,88 @@ class JitterBuffer:
         )
 
 
+class AdaptiveJitterBuffer:
+    """Online playout-delay controller (RFC 3550-style estimator).
+
+    Tracks an EWMA of the one-way delay and its mean absolute deviation
+    and re-targets the playout delay to ``mean + safety * deviation`` on
+    every arrival — the classic adaptive jitter buffer.  Under a jitter
+    burst the buffer grows within a few frames and drains again once the
+    burst clears; the timeline records that trajectory for the resilience
+    experiment.
+
+    A frame is late when it arrives after its playout slot under the delay
+    in force *before* the arrival updated the estimate (the buffer cannot
+    retroactively re-schedule).
+    """
+
+    def __init__(
+        self,
+        initial_delay_ms: float = 20.0,
+        gain: float = 1.0 / 16.0,
+        safety: float = 4.0,
+        min_delay_ms: float = 5.0,
+        max_delay_ms: float = 500.0,
+    ) -> None:
+        if initial_delay_ms < 0:
+            raise ValueError("playout delay cannot be negative")
+        if not 0.0 < gain <= 1.0:
+            raise ValueError("gain must be in (0, 1]")
+        if min_delay_ms < 0 or max_delay_ms < min_delay_ms:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+        self.gain = gain
+        self.safety = safety
+        self.min_delay_ms = min_delay_ms
+        self.max_delay_ms = max_delay_ms
+        self.playout_delay_ms = float(
+            np.clip(initial_delay_ms, min_delay_ms, max_delay_ms)
+        )
+        self._mean_ms: float = 0.0
+        self._deviation_ms: float = 0.0
+        self._primed = False
+        self.frames = 0
+        self.late_frames = 0
+        #: ``(arrival_s, playout_delay_ms)`` after each arrival.
+        self.timeline: List[Tuple[float, float]] = []
+
+    def observe(self, send_s: float, arrival_s: float) -> float:
+        """Feed one frame's (send, arrival) pair; returns the new delay.
+
+        Raises:
+            ValueError: If the frame arrives before it was sent.
+        """
+        one_way_ms = (arrival_s - send_s) * 1000.0
+        if one_way_ms < 0:
+            raise ValueError("arrival precedes send")
+        self.frames += 1
+        if arrival_s > send_s + self.playout_delay_ms / 1000.0:
+            self.late_frames += 1
+        if not self._primed:
+            self._mean_ms = one_way_ms
+            self._primed = True
+        else:
+            error = one_way_ms - self._mean_ms
+            self._mean_ms += self.gain * error
+            self._deviation_ms += self.gain * (abs(error) - self._deviation_ms)
+        self.playout_delay_ms = float(np.clip(
+            self._mean_ms + self.safety * self._deviation_ms,
+            self.min_delay_ms, self.max_delay_ms,
+        ))
+        self.timeline.append((arrival_s, self.playout_delay_ms))
+        return self.playout_delay_ms
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of frames that missed their playout slot."""
+        return self.late_frames / self.frames if self.frames else 0.0
+
+    @property
+    def peak_delay_ms(self) -> float:
+        """Largest playout delay the controller reached."""
+        return max((d for _t, d in self.timeline),
+                   default=self.playout_delay_ms)
+
+
 def minimal_playout_delay_ms(
     timestamps: Sequence[Tuple[float, float]],
     late_budget: float = 0.01,

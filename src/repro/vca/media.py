@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,11 +43,21 @@ def quic_connection_for(sender_address: str, session_secret: bytes) -> QuicConne
 
 
 @dataclass
-class _Target:
-    """Where a source sends: the SFU or the P2P peer."""
+class MediaTarget:
+    """Where a source sends: the SFU or the P2P peer.
+
+    Mutable on purpose: sources resolve ``target.address`` at every frame,
+    so the resilience layer can retarget live streams mid-session (server
+    failover) by mutating one shared instance instead of rebuilding every
+    source.
+    """
 
     address: str
     port: int
+
+
+#: Backward-compatible private alias (pre-failover code used ``_Target``).
+_Target = MediaTarget
 
 
 class VideoSource:
@@ -68,6 +78,7 @@ class VideoSource:
         fps: int = 30,
         seed: int = 0,
         jitter_sigma: float = 0.15,
+        rate_scale: Optional[Callable[[], float]] = None,
     ) -> None:
         if target_mbps <= 0:
             raise ValueError("target bitrate must be positive")
@@ -77,6 +88,7 @@ class VideoSource:
         self.target_mbps = target_mbps
         self.fps = fps
         self.jitter_sigma = jitter_sigma
+        self._rate_scale = rate_scale
         self._rng = np.random.default_rng(seed)
         self.ssrc = int(self._rng.integers(1, 2**32))
         self._packetizer = RtpPacketizer(payload_type, ssrc=self.ssrc)
@@ -91,13 +103,17 @@ class VideoSource:
             (self.GOP_FRAMES - self.I_FRAME_WEIGHT) / (self.GOP_FRAMES - 1)
         )
 
-    def next_frame_payloads(self) -> List[bytes]:
-        """Encoded RTP datagrams of the next video frame."""
+    def next_frame_payloads(self, scale: float = 1.0) -> List[bytes]:
+        """Encoded RTP datagrams of the next video frame.
+
+        ``scale`` multiplies the frame's payload budget — the degradation
+        ladder's 2D analog (reduced-resolution encodes under disturbance).
+        """
         in_gop = self._frame_index % self.GOP_FRAMES
         weight = self.I_FRAME_WEIGHT if in_gop == 0 else self._p_weight
         jitter = float(self._rng.lognormal(0.0, self.jitter_sigma))
         jitter /= float(np.exp(self.jitter_sigma**2 / 2.0))  # unit mean
-        size = max(64, int(self._mean_payload * weight * jitter))
+        size = max(64, int(self._mean_payload * weight * jitter * scale))
         frame = bytes(self._rng.integers(0, 256, size, dtype=np.uint8))
         timestamp = int(self._frame_index * 90_000 / self.fps)
         self._frame_index += 1
@@ -113,13 +129,20 @@ class VideoSource:
 
     def attach(self, sim: Simulator, host: Host, target_address: str,
                target_port: int = MEDIA_PORT, until: Optional[float] = None,
-               meta_extra: Optional[dict] = None) -> None:
-        """Schedule the stream on ``sim`` from ``host`` to the target."""
-        target = _Target(target_address, target_port)
+               meta_extra: Optional[dict] = None,
+               target: Optional[MediaTarget] = None) -> None:
+        """Schedule the stream on ``sim`` from ``host`` to the target.
+
+        Pass a shared ``target`` to allow mid-session retargeting.
+        """
+        target = target or MediaTarget(target_address, target_port)
 
         def send_frame() -> None:
+            scale = 1.0 if self._rate_scale is None else float(self._rate_scale())
+            if scale <= 0.0:
+                return  # audio-only rung: the video frame is not encoded
             index = self._frame_index
-            for payload in self.next_frame_payloads():
+            for payload in self.next_frame_payloads(scale):
                 packet = Packet(
                     src=host.address, dst=target.address,
                     src_port=MEDIA_PORT, dst_port=target.port,
@@ -168,10 +191,11 @@ class SemanticSource:
 
     def attach(self, sim: Simulator, host: Host, target_address: str,
                target_port: int = MEDIA_PORT, until: Optional[float] = None,
-               meta_extra: Optional[dict] = None) -> None:
+               meta_extra: Optional[dict] = None,
+               target: Optional[MediaTarget] = None) -> None:
         """Handshake, then stream one protected frame per display tick."""
         conn = quic_connection_for(host.address, self._secret)
-        target = _Target(target_address, target_port)
+        target = target or MediaTarget(target_address, target_port)
 
         def send(payload: bytes, kind: str, frame: int) -> None:
             packet = Packet(
@@ -232,10 +256,11 @@ class LayeredSemanticSource:
 
     def attach(self, sim: Simulator, host: Host, target_address: str,
                target_port: int = MEDIA_PORT,
-               until: Optional[float] = None) -> None:
+               until: Optional[float] = None,
+               target: Optional[MediaTarget] = None) -> None:
         """Stream one protected layered frame per display tick."""
         conn = quic_connection_for(host.address, self._secret)
-        target = _Target(target_address, target_port)
+        target = target or MediaTarget(target_address, target_port)
 
         def send_frame() -> None:
             index = self._frame_index
@@ -276,10 +301,11 @@ class MeshSource:
 
     def attach(self, sim: Simulator, host: Host, target_address: str,
                target_port: int = MEDIA_PORT,
-               until: Optional[float] = None) -> None:
+               until: Optional[float] = None,
+               target: Optional[MediaTarget] = None) -> None:
         """Stream mesh frames, fragmented to the media MTU."""
         from repro.netsim.packet import MEDIA_MTU_BYTES
-        target = _Target(target_address, target_port)
+        target = target or MediaTarget(target_address, target_port)
 
         def send_frame() -> None:
             index = self._frame_index
@@ -321,13 +347,14 @@ class AudioSource:
 
     def attach(self, sim: Simulator, host: Host, target_address: str,
                target_port: int = MEDIA_PORT,
-               until: Optional[float] = None) -> None:
+               until: Optional[float] = None,
+               target: Optional[MediaTarget] = None) -> None:
         """Schedule the audio packets."""
         conn = (
             quic_connection_for(host.address, self._secret)
             if self._secret is not None else None
         )
-        target = _Target(target_address, target_port)
+        target = target or MediaTarget(target_address, target_port)
 
         def send_packet() -> None:
             body = bytes(

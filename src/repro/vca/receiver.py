@@ -17,6 +17,7 @@ from repro import calibration
 from repro.keypoints.codec import EncodedKeypointFrame, SemanticCodec
 from repro.keypoints.reconstruct import frame_is_reconstructible
 from repro.netsim.packet import Packet
+from repro.transport.fec import FecDecoder, FecPacket
 from repro.transport.quic import QuicConnection
 from repro.vca.media import quic_connection_for
 
@@ -76,6 +77,7 @@ class SemanticReceiver:
         self._clock = clock
         self._codec = SemanticCodec()
         self._connections: Dict[str, QuicConnection] = {}
+        self._fec: Dict[str, FecDecoder] = {}
         self.stats: Dict[str, PersonaAvailability] = {}
         self.other_packets = 0
 
@@ -90,11 +92,32 @@ class SemanticReceiver:
         return self.stats[sender]
 
     def handle(self, packet: Packet) -> None:
-        """Process one arriving media packet."""
-        if packet.meta.get("kind") != "semantic":
-            self.other_packets += 1
-            return
+        """Process one arriving media packet.
+
+        Plain ``semantic`` datagrams decode directly.  ``semantic-fec``
+        datagrams are unframed first and fed through the sender's FEC
+        decoder; every payload it releases (source or recovered) is a QUIC
+        datagram that then takes the same decode path — QUIC's stateless
+        per-packet protection is what makes recovered packets decodable.
+        """
+        kind = packet.meta.get("kind")
         sender = packet.meta.get("origin", packet.src)
+        if kind == "semantic":
+            self._ingest(sender, packet.payload)
+        elif kind == "semantic-fec":
+            try:
+                fec_packet = FecPacket.parse(packet.payload)
+            except ValueError:
+                self._stats(sender).frames_failed += 1
+                return
+            decoder = self._fec.setdefault(sender, FecDecoder())
+            for datagram in decoder.receive(fec_packet):
+                self._ingest(sender, datagram)
+        else:
+            self.other_packets += 1
+
+    def _ingest(self, sender: str, datagram: bytes) -> None:
+        """Decode one QUIC-protected semantic datagram from ``sender``."""
         record = self._stats(sender)
         now = self._clock()
         record.frames_received += 1
@@ -102,7 +125,7 @@ class SemanticReceiver:
             record.first_arrival_s = now
         record.last_arrival_s = now
         try:
-            plaintext = self._connection(sender).unprotect(packet.payload)
+            plaintext = self._connection(sender).unprotect(datagram)
             decoded = self._codec.decode(EncodedKeypointFrame(plaintext))
         except ValueError:
             record.frames_failed += 1
@@ -111,6 +134,11 @@ class SemanticReceiver:
             record.frames_reconstructed += 1
         else:
             record.frames_failed += 1
+
+    def fec_recovered(self, sender: str) -> int:
+        """Datagrams FEC recovered for one sender (0 when FEC is off)."""
+        decoder = self._fec.get(sender)
+        return decoder.recovered if decoder else 0
 
     def senders(self) -> List[str]:
         """Addresses of all senders seen so far."""

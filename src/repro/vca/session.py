@@ -11,8 +11,18 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro import calibration
 from repro.devices.models import Device
+
+if TYPE_CHECKING:  # deferred: repro.faults imports back into repro.vca
+    from repro.faults.resilient import (
+        ResilienceConfig,
+        ResilienceRuntime,
+        SessionResilience,
+    )
+    from repro.faults.schedule import FaultSchedule
 from repro.geo.coords import GeoPoint
 from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
 from repro.geo.servers import Server, build_fleet
@@ -62,6 +72,7 @@ class SessionResult:
     video_packets_received: Dict[str, int]
     addresses: Dict[str, str]
     stats_collectors: Dict[str, MediaStatsCollector] = field(default_factory=dict)
+    resilience: Optional["SessionResilience"] = None
 
     def capture_of(self, user_id: str) -> PacketCapture:
         """The AP capture of one participant."""
@@ -87,6 +98,11 @@ class TelepresenceSession:
         path_model: Wide-area latency model.
         warmup_s: Time before sources start counting toward captures
             (handshakes happen here).
+        faults: Optional fault schedule to inject during the run.
+        resilience: Optional resilience tunables; providing either
+            ``faults`` or ``resilience`` turns on the resilience runtime
+            (degradation ladder, reconnect/failover, resilience metrics).
+            Without both, the session behaves exactly as before.
     """
 
     def __init__(
@@ -96,6 +112,8 @@ class TelepresenceSession:
         initiator_index: int = 0,
         seed: int = 0,
         path_model: Optional[PathModel] = None,
+        faults: Optional["FaultSchedule"] = None,
+        resilience: Optional["ResilienceConfig"] = None,
     ) -> None:
         if len(participants) < 2:
             raise ValueError("a session needs at least two participants")
@@ -134,6 +152,11 @@ class TelepresenceSession:
         self._captures: Dict[str, PacketCapture] = {}
         self.server: Optional[Server] = None
         self._sfu: Optional[SelectiveForwardingUnit] = None
+        self.resilience_runtime: Optional["ResilienceRuntime"] = None
+        if faults is not None or resilience is not None:
+            from repro.faults.resilient import ResilienceRuntime
+
+            self.resilience_runtime = ResilienceRuntime(self, faults, resilience)
         self._build()
 
     # ------------------------------------------------------------------
@@ -167,6 +190,9 @@ class TelepresenceSession:
         for index, participant in enumerate(self.participants):
             self._wire_participant(index, participant)
 
+        if self.resilience_runtime is not None:
+            self.resilience_runtime.finalize()
+
     def _media_target(self, index: int) -> "tuple[str, int]":
         """(address, port) where participant ``index`` sends media."""
         if self._sfu is not None:
@@ -178,18 +204,33 @@ class TelepresenceSession:
         host = self._hosts[participant.user_id]
         target_address, target_port = self._media_target(index)
         seed = self.seed * 1000 + index
+        runtime = self.resilience_runtime
+        target = (
+            runtime.media_target(participant.user_id, target_address,
+                                 target_port)
+            if runtime is not None else None
+        )
 
         if self.persona_kind is PersonaKind.SPATIAL:
             receiver = SemanticReceiver(self.session_secret, lambda: self.sim.now)
-            host.bind(MEDIA_PORT, receiver.handle)
+            handler = receiver.handle
+            if runtime is not None:
+                handler = runtime.tap(participant.user_id, handler)
+            host.bind(MEDIA_PORT, handler)
             self._receivers[participant.user_id] = receiver
-            SemanticSource(self.session_secret, seed=seed).attach(
-                self.sim, host, target_address, target_port
-            )
+            if runtime is not None and runtime.config.enable_ladder:
+                runtime.spatial_source(participant.user_id, seed).attach(
+                    self.sim, host, target_address, target_port, target=target
+                )
+            else:
+                SemanticSource(self.session_secret, seed=seed).attach(
+                    self.sim, host, target_address, target_port, target=target
+                )
             AudioSource(
                 self.profile.audio_bitrate_kbps, seed=seed,
                 session_secret=self.session_secret,
-            ).attach(self.sim, host, target_address, target_port)
+            ).attach(self.sim, host, target_address, target_port,
+                     target=target)
         else:
             self._video_counts[participant.user_id] = 0
             collector = MediaStatsCollector(self.profile, lambda: self.sim.now)
@@ -201,18 +242,28 @@ class TelepresenceSession:
                     self._video_counts[uid] += 1
                 coll.on_packet(packet)
 
-            host.bind(MEDIA_PORT, receive)
+            handler = receive
+            if runtime is not None:
+                handler = runtime.tap(participant.user_id, handler)
+            host.bind(MEDIA_PORT, handler)
             video_mbps = (
                 self.profile.video_bitrate_mbps
                 - self.profile.audio_bitrate_kbps / 1000.0
             )
+            rate_scale = (
+                runtime.video_rate_scale(participant.user_id, video_mbps)
+                if runtime is not None and runtime.config.enable_ladder
+                else None
+            )
             video = VideoSource(
                 self.profile.payload_type, video_mbps,
                 fps=self.profile.video_fps, seed=seed,
+                rate_scale=rate_scale,
             )
-            video.attach(self.sim, host, target_address, target_port)
+            video.attach(self.sim, host, target_address, target_port,
+                         target=target)
             AudioSource(self.profile.audio_bitrate_kbps, seed=seed).attach(
-                self.sim, host, target_address, target_port
+                self.sim, host, target_address, target_port, target=target
             )
             RtcpAgent(host, collector, video, target_address,
                       target_port).attach(self.sim)
@@ -239,6 +290,10 @@ class TelepresenceSession:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         self.sim.run(until=duration_s)
+        resilience = (
+            self.resilience_runtime.collect(duration_s)
+            if self.resilience_runtime is not None else None
+        )
         return SessionResult(
             profile=self.profile,
             persona_kind=self.persona_kind,
@@ -251,4 +306,5 @@ class TelepresenceSession:
             video_packets_received=dict(self._video_counts),
             addresses=dict(self._addresses),
             stats_collectors=dict(self._stats_collectors),
+            resilience=resilience,
         )

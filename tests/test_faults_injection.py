@@ -1,0 +1,233 @@
+"""Fault schedules, the injector, and the engine's cancellable handles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.testbed import default_two_user_testbed
+from repro.faults import (
+    SERVER_TARGET,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    ResilienceConfig,
+    standard_disturbance,
+)
+from repro.netsim.engine import Simulator
+from repro.vca.profiles import PROFILES
+
+
+class TestEventHandles:
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(0.5, lambda: fired.append(1))
+        assert handle.active
+        assert sim.cancel(handle)
+        sim.run()
+        assert fired == []
+        assert handle.cancelled and not handle.fired
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert handle.fired
+        assert not sim.cancel(handle)
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(0.1, lambda: None)
+        assert sim.cancel(handle)
+        assert not sim.cancel(handle)
+        sim.run()
+
+    def test_cancelled_siblings_leave_others_untouched(self):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+            for i in range(5)
+        ]
+        sim.cancel(handles[1])
+        sim.cancel(handles[3])
+        sim.run()
+        assert fired == [0, 2, 4]
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_onset(self):
+        late = FaultEvent(FaultKind.LOSS_BURST, "U1", 5.0, 1.0, 0.1)
+        early = FaultEvent(FaultKind.LOSS_BURST, "U1", 1.0, 1.0, 0.1)
+        schedule = FaultSchedule((late, early))
+        assert [e.start_s for e in schedule] == [1.0, 5.0]
+        assert schedule.horizon_s == 6.0
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.LOSS_BURST, "U1", -1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.LOSS_BURST, "U1", 0.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.LOSS_BURST, "U1", 0.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.SERVER_OUTAGE, "U1", 0.0, 1.0)
+
+    def test_active_at_half_open(self):
+        event = FaultEvent(FaultKind.LINK_BLACKOUT, "U1", 1.0, 2.0)
+        assert not event.active_at(0.99)
+        assert event.active_at(1.0)
+        assert not event.active_at(3.0)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_schedule_deterministic(self, seed):
+        kwargs = dict(duration_s=60.0, targets=["U1", "U2"])
+        assert (FaultSchedule.random(seed, **kwargs).events
+                == FaultSchedule.random(seed, **kwargs).events)
+
+    def test_random_schedule_respects_bounds(self):
+        schedule = FaultSchedule.random(
+            7, duration_s=120.0, targets=["U1"], include_server=False
+        )
+        assert schedule  # 120 s at the default rate: events exist
+        for event in schedule:
+            assert event.kind is not FaultKind.SERVER_OUTAGE
+            assert 0.0 <= event.start_s < 120.0
+            assert event.target == "U1"
+
+    def test_standard_disturbance_needs_room(self):
+        with pytest.raises(ValueError):
+            standard_disturbance(5.0)
+        gauntlet = standard_disturbance(30.0)
+        assert len(gauntlet) == 5
+        assert {e.kind for e in gauntlet} == {
+            FaultKind.LINK_BLACKOUT, FaultKind.SERVER_OUTAGE,
+            FaultKind.LOSS_BURST, FaultKind.BANDWIDTH_COLLAPSE,
+            FaultKind.WIFI_DEGRADATION,
+        }
+
+
+def _resilient_session(profile="FaceTime", schedule=None, seed=1):
+    testbed = default_two_user_testbed()
+    return testbed.session(
+        PROFILES[profile], seed=seed,
+        faults=schedule if schedule is not None else FaultSchedule(),
+        resilience=ResilienceConfig(),
+    )
+
+
+class TestInjector:
+    def test_unknown_target_rejected_at_build(self):
+        schedule = FaultSchedule.scripted([
+            FaultEvent(FaultKind.LINK_BLACKOUT, "nobody", 1.0, 1.0)
+        ])
+        with pytest.raises(KeyError):
+            _resilient_session(schedule=schedule)
+
+    def test_apply_revert_log_pairs(self):
+        schedule = standard_disturbance(30.0)
+        session = _resilient_session(schedule=schedule)
+        result = session.run(30.0)
+        log = result.resilience.fault_log
+        applies = [e for e in log if e.action == "apply"]
+        reverts = [e for e in log if e.action == "revert"]
+        assert len(applies) == len(schedule) == len(reverts)
+        for entry in applies:
+            assert entry.time_s == pytest.approx(entry.event.start_s)
+
+    def test_server_outage_skipped_on_p2p(self):
+        # Two Vision Pros on Zoom run peer-to-peer: no relay to lose.
+        session = _resilient_session("Zoom", standard_disturbance(30.0))
+        assert session.p2p
+        result = session.run(30.0)
+        skips = [e for e in result.resilience.fault_log
+                 if e.action == "skip"]
+        assert [e.event.kind for e in skips] == [FaultKind.SERVER_OUTAGE]
+
+    def test_blackout_stops_media_and_inflight(self):
+        session = _resilient_session(schedule=FaultSchedule.scripted([
+            FaultEvent(FaultKind.LINK_BLACKOUT, "U2", 2.0, 1.5),
+        ]))
+        result = session.run(6.0)
+        tracker = session.resilience_runtime.trackers["U1"]
+        arrivals = tracker.media_arrivals(result.addresses["U2"])
+        # Nothing sent at t in [2.0, 3.5] can arrive, and packets already
+        # in flight toward the dead attachment were revoked.
+        in_gap = [t for t in arrivals if 2.0 + 0.05 < t < 3.5]
+        assert not in_gap
+        assert any(t > 3.6 for t in arrivals)  # media resumes after
+
+    def test_overlapping_faults_recombine_on_each_edge(self):
+        sim_events = [
+            FaultEvent(FaultKind.LOSS_BURST, "U2", 1.0, 4.0, 0.5),
+            FaultEvent(FaultKind.LOSS_BURST, "U2", 2.0, 1.0, 0.5),
+        ]
+        session = _resilient_session(schedule=FaultSchedule.scripted(sim_events))
+        network = session.network
+        address = session._addresses["U2"]
+        observed = {}
+
+        def probe(t):
+            fault = network.fault_of(address)
+            observed[t] = fault.loss if fault is not None else 0.0
+
+        for t in (0.5, 1.5, 2.5, 3.5, 5.5):
+            session.sim.schedule_at(t, lambda t=t: probe(t))
+        session.run(6.0)
+        assert observed[0.5] == 0.0
+        assert observed[1.5] == pytest.approx(0.5)
+        assert observed[2.5] == pytest.approx(0.75)  # 1 - 0.5 * 0.5
+        assert observed[3.5] == pytest.approx(0.5)
+        assert observed[5.5] == 0.0
+
+    def test_wifi_degradation_restores_ap(self):
+        session = _resilient_session(schedule=FaultSchedule.scripted([
+            FaultEvent(FaultKind.WIFI_DEGRADATION, "U2", 1.0, 1.0, 0.3),
+        ]))
+        network = session.network
+        address = session._addresses["U2"]
+        seen = {}
+        session.sim.schedule_at(1.5, lambda: seen.update(
+            during=network.ap_of(address).degradation))
+        session.run(4.0)
+        assert seen["during"] == pytest.approx(0.3)
+        assert network.ap_of(address).degradation == 1.0
+
+    def test_same_seed_same_fault_log(self):
+        schedule = standard_disturbance(20.0)
+        logs = []
+        for _ in range(2):
+            result = _resilient_session(schedule=schedule, seed=3).run(20.0)
+            logs.append([
+                (e.time_s, e.action, e.event.kind, e.address)
+                for e in result.resilience.fault_log
+            ])
+        assert logs[0] == logs[1]
+
+
+class TestInjectorUnit:
+    def test_is_down_tracks_blackout_window(self):
+        session = _resilient_session(schedule=FaultSchedule.scripted([
+            FaultEvent(FaultKind.LINK_BLACKOUT, "U1", 1.0, 1.0),
+        ]))
+        injector = session.resilience_runtime.injector
+        assert isinstance(injector, FaultInjector)
+        address = session._addresses["U1"]
+        seen = {}
+        session.sim.schedule_at(1.5, lambda: seen.update(
+            down=injector.is_down(address)))
+        session.run(3.0)
+        assert seen["down"] is True
+        assert not injector.is_down(address)
+        assert injector.active_events() == []
+
+    def test_server_target_resolves_current_relay(self):
+        session = _resilient_session(schedule=FaultSchedule.scripted([
+            FaultEvent(FaultKind.SERVER_OUTAGE, SERVER_TARGET, 1.0, 1.0),
+        ]))
+        original = session.server.address
+        result = session.run(5.0)
+        applies = [e for e in result.resilience.fault_log
+                   if e.action == "apply"]
+        assert applies[0].address == original

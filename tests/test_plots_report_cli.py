@@ -77,7 +77,7 @@ class TestCliParser:
         )
         assert set(sub.choices) == {
             "table1", "protocols", "fig4", "content", "rate",
-            "fig5", "fig6", "ablations", "validate", "report",
+            "fig5", "fig6", "ablations", "resilience", "validate", "report",
         }
 
     def test_missing_command_errors(self):

@@ -1,0 +1,281 @@
+"""The graceful-degradation ladder, recovery guarantees, and determinism."""
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.testbed import default_two_user_testbed
+from repro.faults import (
+    BackoffPolicy,
+    DegradationLadder,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    LadderLevel,
+    ResilienceConfig,
+    next_level,
+    standard_disturbance,
+    sustainable_level,
+)
+from repro.transport.fec import AdaptiveFecPolicy, FecEncoder
+from repro.vca.jitterbuffer import AdaptiveJitterBuffer
+from repro.vca.profiles import PROFILES
+
+NOMINAL = {
+    LadderLevel.TEXTURED_MESH: 6_000_000.0,
+    LadderLevel.SIMPLIFIED_MESH: 1_500_000.0,
+    LadderLevel.KEYPOINTS: 600_000.0,
+    LadderLevel.AUDIO_ONLY: 48_000.0,
+}
+
+
+class TestLadderProperties:
+    @given(
+        low=st.floats(0.0, 8e6, allow_nan=False),
+        high=st.floats(0.0, 8e6, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sustainable_level_monotone_in_goodput(self, low, high):
+        if low > high:
+            low, high = high, low
+        assert (sustainable_level(low, NOMINAL)
+                <= sustainable_level(high, NOMINAL))
+
+    @given(
+        current=st.sampled_from(list(LadderLevel)),
+        streak=st.integers(0, 10),
+        low=st.floats(0.0, 8e6, allow_nan=False),
+        high=st.floats(0.0, 8e6, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_next_level_monotone_in_goodput(self, current, streak, low, high):
+        if low > high:
+            low, high = high, low
+        assert (next_level(current, low, NOMINAL, streak)
+                <= next_level(current, high, NOMINAL, streak))
+
+    def test_down_is_immediate_up_needs_streak(self):
+        ladder = DegradationLadder(nominal_bps=dict(NOMINAL), settle_s=0.0)
+        assert ladder.observe(1.0, 0.0) is LadderLevel.AUDIO_ONLY
+        # One clean interval is not enough to climb...
+        assert ladder.observe(2.0, 8e6) is LadderLevel.AUDIO_ONLY
+        assert ladder.observe(3.0, 8e6) is LadderLevel.AUDIO_ONLY
+        # ...the third clean interval probes one rung up, not four.
+        assert ladder.observe(4.0, 8e6) is LadderLevel.KEYPOINTS
+
+    def test_settle_holds_judgement_after_transition(self):
+        ladder = DegradationLadder(nominal_bps=dict(NOMINAL), settle_s=1.0)
+        ladder.observe(1.5, 0.0)  # drop
+        assert ladder.level is LadderLevel.AUDIO_ONLY
+        # Inside the hold-down the (still stale) reading is ignored.
+        ladder.observe(2.0, 0.0)
+        ladder.observe(2.4, 0.0)
+        assert len(ladder.transitions) == 2
+
+    @given(
+        seed=st.integers(0, 10_000),
+        duration=st.floats(5.0, 60.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_sums_to_duration(self, seed, duration):
+        import random
+
+        rng = random.Random(seed)
+        ladder = DegradationLadder(nominal_bps=dict(NOMINAL), settle_s=0.0)
+        for i in range(40):
+            ladder.observe(i * duration / 40, rng.uniform(0.0, 8e6))
+        total = sum(ladder.occupancy(duration).values())
+        assert total == pytest.approx(duration)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sustainable_level(-1.0, NOMINAL)
+        with pytest.raises(ValueError):
+            DegradationLadder(nominal_bps=dict(NOMINAL), settle_s=-1.0)
+        ladder = DegradationLadder(nominal_bps=dict(NOMINAL))
+        with pytest.raises(ValueError):
+            ladder.occupancy(0.0)
+
+
+class TestAdaptiveFec:
+    def test_disabled_below_enable_threshold(self):
+        policy = AdaptiveFecPolicy()
+        assert policy.k_for_loss(0.0) is None
+        assert policy.k_for_loss(0.004) is None
+
+    def test_k_shrinks_as_loss_grows(self):
+        policy = AdaptiveFecPolicy()
+        ks = [policy.k_for_loss(loss)
+              for loss in (0.01, 0.06, 0.2)]
+        assert ks == [4, 3, 2]
+
+    def test_loss_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveFecPolicy().k_for_loss(1.5)
+
+    def test_encoder_group_ids_never_collide_across_k_switch(self):
+        first = FecEncoder(4)
+        for _ in range(3):  # partial group: index mid-stream
+            first.protect(b"x" * 40)
+        successor = FecEncoder(2, first_group=first.next_group)
+        packets = successor.protect(b"y" * 40)
+        assert all(p.group >= first.next_group for p in packets)
+
+
+class TestAdaptiveJitterBuffer:
+    def test_delay_stays_inside_clamp(self):
+        buffer = AdaptiveJitterBuffer()
+        for i in range(200):
+            jitter = 0.04 if i % 7 == 0 else 0.001
+            buffer.observe(i * 0.02, i * 0.02 + 0.03 + jitter)
+        assert 5.0 <= buffer.playout_delay_ms <= 500.0
+
+    def test_more_jitter_more_delay(self):
+        calm, rough = AdaptiveJitterBuffer(), AdaptiveJitterBuffer()
+        for i in range(300):
+            calm.observe(i * 0.02, i * 0.02 + 0.030)
+            rough.observe(i * 0.02, i * 0.02 + 0.030 + (i % 5) * 0.01)
+        assert rough.playout_delay_ms > calm.playout_delay_ms
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = BackoffPolicy(base_s=0.25, factor=2.0, cap_s=4.0)
+        delays = [policy.delay_s(a) for a in range(6)]
+        assert delays[:3] == [0.25, 0.5, 1.0]
+        assert delays[-1] == 4.0
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+
+
+def _run_with(schedule, profile="FaceTime", duration=15.0, seed=1):
+    session = default_two_user_testbed().session(
+        PROFILES[profile], seed=seed,
+        faults=schedule, resilience=ResilienceConfig(),
+    )
+    return session.run(duration)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("kind,magnitude", [
+        (FaultKind.LINK_BLACKOUT, 0.0),
+        (FaultKind.BANDWIDTH_COLLAPSE, 0.004),
+        (FaultKind.LOSS_BURST, 0.15),
+        (FaultKind.JITTER_BURST, 40.0),
+        (FaultKind.WIFI_DEGRADATION, 0.25),
+    ])
+    def test_recovery_finite_for_every_fault_kind(self, kind, magnitude):
+        schedule = FaultSchedule.scripted([
+            FaultEvent(kind, "U2", 3.0, 2.0, magnitude),
+        ])
+        result = _run_with(schedule)
+        report = result.resilience.report("U1", "U2")
+        assert report.all_recovered
+        for recovery in report.recoveries:
+            assert recovery.time_to_recover_s < result.duration_s
+
+    def test_server_outage_fails_over_with_finite_downtime(self):
+        schedule = standard_disturbance(30.0)
+        result = _run_with(schedule, duration=30.0)
+        resilience = result.resilience
+        assert resilience.report("U1", "U2").all_recovered
+        assert resilience.reconnects >= 1
+        for event in resilience.reconnect_events:
+            assert event.recovered_s is not None
+            assert event.downtime_s < 10.0
+            assert event.to_server is not None
+
+    def test_ladder_walks_down_and_climbs_back(self):
+        schedule = FaultSchedule.scripted([
+            FaultEvent(FaultKind.LINK_BLACKOUT, "U2", 3.0, 2.0),
+        ])
+        result = _run_with(schedule, duration=20.0)
+        ladder = result.resilience.ladders["U2"]
+        levels = [level for _t, level in ladder.transitions]
+        assert min(levels) < LadderLevel.TEXTURED_MESH  # descended
+        assert ladder.level is LadderLevel.TEXTURED_MESH  # climbed back
+        occupancy = ladder.occupancy(20.0)
+        assert sum(occupancy.values()) == pytest.approx(20.0)
+
+    def test_mos_under_faults_between_1_and_5(self):
+        result = _run_with(standard_disturbance(20.0), duration=20.0)
+        report = result.resilience.report("U1", "U2")
+        assert 1.0 <= report.mos_mean <= 5.0
+        clean = _run_with(FaultSchedule())
+        assert clean.resilience.report("U1", "U2").mos_mean > report.mos_mean
+
+
+def _capture_digest(result) -> str:
+    digest = hashlib.sha256()
+    for uid in sorted(result.captures):
+        for r in result.captures[uid].records:
+            digest.update(
+                f"{r.timestamp:.9f}|{r.src}|{r.dst}|{r.src_port}|"
+                f"{r.dst_port}|{r.wire_bytes}|{r.protocol}".encode()
+            )
+            digest.update(r.snap)
+    return digest.hexdigest()
+
+
+class TestDeterminismAndNonInterference:
+    def test_plain_sessions_never_build_the_runtime(self):
+        session = default_two_user_testbed().session(PROFILES["FaceTime"])
+        assert session.resilience_runtime is None
+        assert session.run(5.0).resilience is None
+
+    def test_disabled_runtime_leaves_traffic_byte_identical(self):
+        """An armed-but-idle runtime must not perturb the simulation."""
+        plain = default_two_user_testbed().session(
+            PROFILES["FaceTime"], seed=5
+        ).run(10.0)
+        idle = default_two_user_testbed().session(
+            PROFILES["FaceTime"], seed=5,
+            faults=FaultSchedule(),
+            resilience=ResilienceConfig(enable_ladder=False,
+                                        enable_reconnect=False),
+        ).run(10.0)
+        assert _capture_digest(plain) == _capture_digest(idle)
+
+    def test_same_seed_same_fault_run(self):
+        digests = [
+            _capture_digest(_run_with(standard_disturbance(15.0), seed=4))
+            for _ in range(2)
+        ]
+        assert digests[0] == digests[1]
+
+    def test_experiment_rows_deterministic(self):
+        from repro.experiments import resilience
+
+        first, _ = resilience.run_profile("FaceTime", duration_s=12.0, seed=2)
+        second, _ = resilience.run_profile("FaceTime", duration_s=12.0, seed=2)
+        assert first == second
+
+
+_HASHSEED_SNIPPET = """
+from repro.geo.geolocate import default_database
+from repro.geo.servers import ALL_FLEETS
+db = default_database()
+server = ALL_FLEETS["FaceTime"].servers[0]
+point = db.lookup(server.address)
+print(f"{point.lat:.9f},{point.lon:.9f}")
+"""
+
+
+class TestHashSeedIndependence:
+    def test_geolocation_stable_across_hash_seeds(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        outputs = set()
+        for hashseed in ("0", "4242"):
+            env = dict(os.environ,
+                       PYTHONPATH=str(src), PYTHONHASHSEED=hashseed)
+            proc = subprocess.run(
+                [sys.executable, "-c", _HASHSEED_SNIPPET],
+                capture_output=True, text=True, env=env, timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
