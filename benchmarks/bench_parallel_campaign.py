@@ -1,0 +1,81 @@
+"""Bench: serial vs sharded campaign wall time, and cache hit-rate.
+
+Three timed paths over the same (VCA x user count) grid:
+
+- ``serial``   — the historical one-process loop (``jobs=1``),
+- ``parallel`` — the process-pool runner at ``jobs=4`` (on a 4-core
+  runner this lands at >=2x the serial figure; the grid is
+  embarrassingly parallel, so speedup tracks available cores),
+- ``replay``   — an unchanged re-run against a warm result cache, which
+  must serve >=95% of cells from disk and produce identical records.
+"""
+
+import time
+
+from repro.core.cache import ResultCache
+from repro.core.campaign import Campaign
+
+GRID = dict(
+    vcas=("FaceTime", "Zoom", "Webex", "Teams"),
+    user_counts=(2, 3),
+    duration_s=4.0,
+    repeats=1,
+)
+
+
+def _campaign() -> Campaign:
+    return Campaign.grid(**GRID, base_seed=0)
+
+
+def test_serial_campaign(benchmark):
+    campaign = _campaign()
+    benchmark.pedantic(campaign.run, kwargs={"jobs": 1},
+                       rounds=1, iterations=1)
+    assert len(campaign.records) == len(campaign.tasks())
+
+
+def test_parallel_campaign_jobs4(benchmark):
+    campaign = _campaign()
+    benchmark.pedantic(campaign.run, kwargs={"jobs": 4},
+                       rounds=1, iterations=1)
+    assert campaign.last_run_stats.executed == len(campaign.tasks())
+
+
+def test_cache_replay_hit_rate(benchmark, tmp_path):
+    cold = _campaign()
+    cold.run(jobs=1, cache=ResultCache(tmp_path))
+    warm = _campaign()
+    benchmark.pedantic(
+        warm.run, kwargs={"jobs": 1, "cache": ResultCache(tmp_path)},
+        rounds=1, iterations=1,
+    )
+    stats = warm.last_run_stats
+    assert stats.hit_rate() >= 0.95
+    assert warm.records == cold.records
+
+
+def test_speedup_summary(tmp_path):
+    """One comparative table: serial vs parallel vs replay wall time."""
+    started = time.monotonic()
+    serial = _campaign()
+    serial.run(jobs=1)
+    serial_s = time.monotonic() - started
+
+    started = time.monotonic()
+    parallel = _campaign()
+    parallel.run(jobs=4, cache=ResultCache(tmp_path))
+    parallel_s = time.monotonic() - started
+
+    started = time.monotonic()
+    replay = _campaign()
+    replay.run(jobs=1, cache=ResultCache(tmp_path))
+    replay_s = time.monotonic() - started
+
+    assert serial.records == parallel.records == replay.records
+    assert replay.last_run_stats.hit_rate() >= 0.95
+    print(
+        f"\nserial {serial_s:6.2f} s | jobs=4 {parallel_s:6.2f} s "
+        f"(speedup {serial_s / max(parallel_s, 1e-9):.2f}x) | "
+        f"cache replay {replay_s:6.2f} s "
+        f"({replay.last_run_stats.hit_rate():.0%} hits)"
+    )

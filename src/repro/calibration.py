@@ -237,3 +237,34 @@ PAPER_STATS = {
     "draco_mbps": PaperStat(*DRACO_STREAMING_MBPS, source="Sec 4.3"),
     "keypoint_mbps": PaperStat(*KEYPOINT_STREAMING_MBPS, source="Sec 4.3"),
 }
+
+
+# ---------------------------------------------------------------------------
+# Calibration identity (for sweep-result caching)
+# ---------------------------------------------------------------------------
+
+#: Bumped whenever the calibration set changes meaning (not just values);
+#: part of every cached sweep cell's key.
+CALIBRATION_VERSION = 1
+
+
+def fingerprint() -> str:
+    """sha256 over every public calibration constant, by name.
+
+    The cached-sweep machinery (:mod:`repro.core.cache`) mixes this into
+    every cell key, so changing any paper-anchored number — or the
+    version above — invalidates previously cached results.  Computed on
+    demand (not memoized) so monkeypatched constants are honoured.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    module = globals()
+    for name in sorted(module):
+        if name.startswith("_") or not name.isupper():
+            continue
+        digest.update(name.encode())
+        digest.update(b"=")
+        digest.update(repr(module[name]).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -22,6 +22,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="independent repeats per experiment")
 
 
+def _add_sweep(parser: argparse.ArgumentParser) -> None:
+    """Flags of the sweep-capable subcommands (parallelism + caching)."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell, ignore the result cache")
+    parser.add_argument("--cache-dir",
+                        help="result-cache root (default: REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-sweeps)")
+
+
+def _sweep_cache(args):
+    """The ResultCache the flags ask for (None with --no-cache)."""
+    if args.no_cache:
+        return None
+    from repro.core.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -42,15 +62,26 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig6", "Fig. 6: scalability 2-5 users"),
         ("ablations", "A1-A5 ablations"),
         ("resilience", "fault gauntlet: recovery, ladder occupancy, MOS"),
+        ("campaign", "automated measurement campaign over a config grid"),
         ("validate", "re-check every calibrated anchor against the paper"),
         ("report", "full markdown reproduction report"),
+        ("reproduce", "full report with sharded workers + result cache"),
     ):
         p = sub.add_parser(name, help=help_text)
         _add_common(p)
-        if name == "report":
+        if name in ("report", "reproduce"):
             p.add_argument("--quick", action="store_true",
                            help="short smoke-run settings")
             p.add_argument("--output", help="write markdown to this path")
+        if name == "campaign":
+            p.add_argument("--vcas", nargs="+",
+                           default=["FaceTime", "Zoom", "Webex", "Teams"],
+                           help="VCA profiles to sweep")
+            p.add_argument("--users", nargs="+", type=int, default=[2, 3],
+                           help="user counts to sweep")
+            p.add_argument("--csv", help="export records to this path")
+        if name in ("campaign", "resilience", "reproduce"):
+            _add_sweep(p)
     return parser
 
 
@@ -158,7 +189,8 @@ def _cmd_resilience(args) -> int:
     from repro.experiments import resilience
 
     duration = max(args.duration, 10.0)  # the gauntlet needs >= 10 s
-    result = resilience.run(duration_s=duration, seed=args.seed)
+    result = resilience.run(duration_s=duration, seed=args.seed,
+                            jobs=args.jobs, cache=_sweep_cache(args))
     print(result.format_table())
     print(f"all profiles recovered: {result.all_recovered()}")
     facetime = result.details["FaceTime"]
@@ -178,13 +210,40 @@ def _cmd_validate(args) -> int:
     return 0 if all(c.within_band for c in checks) else 1
 
 
+def _cmd_campaign(args) -> int:
+    from repro.core.campaign import Campaign
+
+    campaign = Campaign.grid(args.vcas, args.users,
+                             duration_s=args.duration, repeats=args.repeats,
+                             base_seed=args.seed)
+    campaign.run(progress=lambda line: print(f"  {line}"),
+                 jobs=args.jobs, cache=_sweep_cache(args))
+    for vca, summary in campaign.summary_by("vca").items():
+        print(f"{vca:10s} sessions={summary['sessions']:3.0f}  "
+              f"up={summary['uplink_mbps_mean']:6.2f} Mbps  "
+              f"down={summary['downlink_mbps_mean']:6.2f} Mbps")
+    stats = campaign.last_run_stats
+    print(f"{stats.tasks} cells: {stats.executed} executed, "
+          f"{stats.cache_hits} cached ({stats.hit_rate():.0%} hit rate) "
+          f"in {stats.elapsed_s:.1f} s with jobs={args.jobs}")
+    if args.csv:
+        campaign.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.report import ReportSettings, generate_report
 
+    import dataclasses
+
+    jobs = getattr(args, "jobs", 1)
+    cache = _sweep_cache(args) if hasattr(args, "jobs") else None
     settings = (
-        ReportSettings.quick() if args.quick
+        dataclasses.replace(ReportSettings.quick(), jobs=jobs, cache=cache)
+        if args.quick
         else ReportSettings(duration_s=args.duration, repeats=args.repeats,
-                            seed=args.seed)
+                            seed=args.seed, jobs=jobs, cache=cache)
     )
     markdown = generate_report(settings)
     if args.output:
@@ -206,8 +265,10 @@ _COMMANDS = {
     "fig6": _cmd_fig6,
     "ablations": _cmd_ablations,
     "resilience": _cmd_resilience,
+    "campaign": _cmd_campaign,
     "validate": _cmd_validate,
     "report": _cmd_report,
+    "reproduce": _cmd_report,
 }
 
 

@@ -1,12 +1,16 @@
-"""Core public API: the testbed and the study runner.
+"""Core public API: the testbed, the study runner, and the sweep engine.
 
 This is the measurement methodology of the paper as a library: build the
-Fig. 3 testbed, run repeated sessions, and collect the observables.
+Fig. 3 testbed, run repeated sessions, and collect the observables —
+serially, across worker processes, or replayed from the on-disk result
+cache.
 """
 
 from repro.core.testbed import Testbed, default_two_user_testbed
 from repro.core.study import Study, Repeated, repeat_experiment
 from repro.core.campaign import Campaign, CampaignCell, CampaignRecord
+from repro.core.cache import CacheStats, ResultCache, task_key
+from repro.core.parallel import CellTask, RunStats, TaskRunner, run_tasks
 
 __all__ = [
     "Testbed",
@@ -17,4 +21,11 @@ __all__ = [
     "Campaign",
     "CampaignCell",
     "CampaignRecord",
+    "CacheStats",
+    "ResultCache",
+    "task_key",
+    "CellTask",
+    "RunStats",
+    "TaskRunner",
+    "run_tasks",
 ]

@@ -1,0 +1,194 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+Re-running a campaign or experiment sweep should only recompute the cells
+whose inputs actually changed.  Every cached entry is keyed by the sha256
+of a canonical JSON encoding of everything that determines the result:
+
+- the fully-qualified name of the cell function,
+- its keyword arguments (seeds included),
+- the calibration fingerprint (:func:`repro.calibration.fingerprint` —
+  any paper-anchored constant change invalidates every entry),
+- the code fingerprint (:func:`code_fingerprint` — a sha256 over every
+  ``repro`` source file, so editing any model recomputes everything).
+
+Entries live one-per-file under a root directory (``REPRO_CACHE_DIR``
+environment variable, else ``~/.cache/repro-sweeps``) and each file
+carries an embedded checksum of its payload, so a corrupted or truncated
+entry is detected and silently recomputed instead of crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Union
+
+import repro
+from repro import calibration
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every existing cache entry wholesale.
+CACHE_FORMAT_VERSION = 1
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def default_cache_root() -> Path:
+    """The on-disk cache location (env override, else ``~/.cache``)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sweeps"
+
+
+def code_fingerprint() -> str:
+    """sha256 over every ``repro`` source file (name + contents).
+
+    Computed once per process: the package cannot change under a running
+    sweep, but any edit between runs produces a different fingerprint and
+    therefore a cold cache.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def canonical(value: Any) -> Any:
+    """A JSON-stable form of ``value`` for hashing.
+
+    Callables and classes become their qualified names, dataclasses an
+    explicitly-tagged field mapping, mappings get sorted keys, and tuples
+    collapse to lists.  Raises ``TypeError`` for anything else that JSON
+    cannot represent — better a loud failure than a silently unstable key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): canonical(v) for k, v in sorted(value.items(),
+                                                        key=lambda kv: str(kv[0]))}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: canonical(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__dataclass__": _qualname(type(value)), **fields}
+    if isinstance(value, type) or callable(value):
+        return {"__callable__": _qualname(value)}
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for cache key")
+
+
+def _qualname(obj: Any) -> str:
+    return f"{obj.__module__}.{getattr(obj, '__qualname__', repr(obj))}"
+
+
+def _digest(obj: Any) -> str:
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def task_key(fn: Union[str, Callable[..., Any]],
+             kwargs: Optional[Mapping[str, Any]] = None,
+             extra: Any = None) -> str:
+    """The content-addressed key of one sweep cell."""
+    fn_ref = fn if isinstance(fn, str) else _qualname(fn)
+    return _digest({
+        "version": CACHE_FORMAT_VERSION,
+        "fn": fn_ref,
+        "kwargs": canonical(dict(kwargs or {})),
+        "extra": canonical(extra),
+        "calibration": calibration.fingerprint(),
+        "code": code_fingerprint(),
+    })
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed store of JSON-serializable cell results."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Where one entry lives (two-level fan-out like git objects)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload, or ``None`` on miss/corruption.
+
+        A corrupt entry (unreadable JSON, wrong embedded key, or payload
+        checksum mismatch) is deleted and reported as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            if path.exists():
+                self.stats.corrupt += 1
+                path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("key") != key
+            or entry.get("checksum") != _digest(entry.get("payload"))
+        ):
+            self.stats.corrupt += 1
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store a payload atomically (write-to-temp, then rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "checksum": _digest(payload), "payload": payload}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        tmp.replace(path)
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))

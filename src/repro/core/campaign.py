@@ -7,22 +7,31 @@ already exists: a :class:`Campaign` sweeps a configuration grid (VCA x
 device mix x user count x repeats), runs every cell unattended, and
 collects one flat record per session — exportable to CSV for whatever
 analysis stack the user prefers.
+
+Cells are independent and seeded, so a campaign shards across worker
+processes (``run(jobs=N)``) and replays from the content-addressed result
+cache (:mod:`repro.core.cache`) without changing a byte of the export:
+serial, parallel and cached runs are equivalent by construction, and the
+equivalence test suite holds them to it.
 """
 
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro import calibration
 from repro.analysis.protocol import classify_capture
 from repro.analysis.throughput import throughput_windows_mbps
+from repro.core.cache import ResultCache
+from repro.core.parallel import CellTask, RunStats, TaskRunner
 from repro.core.testbed import multi_user_testbed
 from repro.devices.models import Device, VisionPro
 from repro.netsim.capture import Direction
-from repro.vca.profiles import PROFILES, PersonaKind, VcaProfile
+from repro.vca.profiles import PROFILES, PersonaKind
 
 import numpy as np
 
@@ -44,6 +53,14 @@ class CampaignCell:
             raise ValueError("need at least two users")
         if self.duration_s <= 0 or self.repeats < 1:
             raise ValueError("duration and repeats must be positive")
+        if not callable(self.device_factory):
+            raise ValueError("device_factory must be callable")
+        probe = self.device_factory()
+        if not isinstance(probe, Device):
+            raise ValueError(
+                f"device_factory must return a Device, got "
+                f"{type(probe).__name__}"
+            )
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,54 @@ class CampaignRecord:
         return [str(getattr(self, name)) for name in self.FIELDS]
 
 
+def run_cell(cell: CampaignCell, repeat: int, seed: int) -> CampaignRecord:
+    """Measure one cell repeat — the unit of campaign work.
+
+    A pure function of its arguments (module-level so it crosses process
+    boundaries), which is what lets :class:`Campaign` shard repeats over
+    a process pool and cache their records.
+    """
+    testbed = multi_user_testbed(
+        cell.n_users, device_factory=cell.device_factory
+    )
+    session = testbed.session(PROFILES[cell.vca], seed=seed)
+    result = session.run(cell.duration_s)
+    capture = result.capture_of("U1")
+    up = throughput_windows_mbps(capture, Direction.UPLINK)
+    down = throughput_windows_mbps(capture, Direction.DOWNLINK)
+    availability = 1.0
+    if result.persona_kind is PersonaKind.SPATIAL:
+        receiver = result.receiver_of("U2")
+        stats = receiver.stats.get(result.addresses["U1"])
+        availability = stats.availability() if stats else 0.0
+    protocol_report = classify_capture(capture)
+    device = cell.device_factory().device_class.value
+    return CampaignRecord(
+        vca=cell.vca,
+        n_users=cell.n_users,
+        device=device,
+        repeat=repeat,
+        seed=seed,
+        persona_kind=result.persona_kind.value,
+        protocol=protocol_report.dominant,
+        p2p=result.p2p,
+        server_label=result.server.label if result.server else "-",
+        uplink_mbps_mean=float(np.mean(up)) if up else 0.0,
+        downlink_mbps_mean=float(np.mean(down)) if down else 0.0,
+        persona_availability=availability,
+    )
+
+
+def pack_record(record: CampaignRecord) -> Dict[str, object]:
+    """Record -> cacheable JSON payload."""
+    return dataclasses.asdict(record)
+
+
+def unpack_record(payload: Dict[str, object]) -> CampaignRecord:
+    """Cache payload -> record (exact round-trip of :func:`pack_record`)."""
+    return CampaignRecord(**payload)
+
+
 class Campaign:
     """Runs a grid of session configurations unattended."""
 
@@ -83,6 +148,7 @@ class Campaign:
         self.cells = list(cells)
         self.base_seed = base_seed
         self.records: List[CampaignRecord] = []
+        self.last_run_stats: Optional[RunStats] = None
 
     @classmethod
     def grid(
@@ -109,52 +175,48 @@ class Campaign:
                                           repeats=repeats))
         return cls(cells, base_seed=base_seed)
 
-    def run(self, progress: Optional[Callable[[str], None]] = None
-            ) -> List[CampaignRecord]:
-        """Execute every cell; returns (and stores) the records."""
-        self.records = []
+    def tasks(self) -> List[CellTask]:
+        """One :class:`CellTask` per (cell, repeat), seeds preassigned.
+
+        Seeds are allocated by enumeration order — identical to what the
+        historical serial loop produced — so the execution strategy can
+        never change a record.
+        """
+        tasks: List[CellTask] = []
         seed = self.base_seed
         for cell in self.cells:
             for repeat in range(cell.repeats):
-                if progress is not None:
-                    progress(
-                        f"{cell.vca} n={cell.n_users} repeat={repeat}"
-                    )
-                self.records.append(self._run_one(cell, repeat, seed))
+                tasks.append(CellTask(
+                    name=f"{cell.vca} n={cell.n_users} repeat={repeat}",
+                    fn=run_cell,
+                    kwargs={"cell": cell, "repeat": repeat, "seed": seed},
+                    pack=pack_record,
+                    unpack=unpack_record,
+                ))
                 seed += 1
+        return tasks
+
+    def run(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> List[CampaignRecord]:
+        """Execute every cell; returns (and stores) the records.
+
+        ``jobs > 1`` shards the (cell, repeat) grid over worker
+        processes; ``cache`` replays unchanged cells from disk.  Either
+        way the records — and any CSV exported from them — are identical
+        to a serial, cold run.
+        """
+        runner = TaskRunner(jobs=jobs, cache=cache, progress=progress)
+        self.records = runner.run(self.tasks())
+        self.last_run_stats = runner.stats
         return self.records
 
     def _run_one(self, cell: CampaignCell, repeat: int,
                  seed: int) -> CampaignRecord:
-        testbed = multi_user_testbed(
-            cell.n_users, device_factory=cell.device_factory
-        )
-        session = testbed.session(PROFILES[cell.vca], seed=seed)
-        result = session.run(cell.duration_s)
-        capture = result.capture_of("U1")
-        up = throughput_windows_mbps(capture, Direction.UPLINK)
-        down = throughput_windows_mbps(capture, Direction.DOWNLINK)
-        availability = 1.0
-        if result.persona_kind is PersonaKind.SPATIAL:
-            receiver = result.receiver_of("U2")
-            stats = receiver.stats.get(result.addresses["U1"])
-            availability = stats.availability() if stats else 0.0
-        protocol_report = classify_capture(capture)
-        device = cell.device_factory().device_class.value
-        return CampaignRecord(
-            vca=cell.vca,
-            n_users=cell.n_users,
-            device=device,
-            repeat=repeat,
-            seed=seed,
-            persona_kind=result.persona_kind.value,
-            protocol=protocol_report.dominant,
-            p2p=result.p2p,
-            server_label=result.server.label if result.server else "-",
-            uplink_mbps_mean=float(np.mean(up)) if up else 0.0,
-            downlink_mbps_mean=float(np.mean(down)) if down else 0.0,
-            persona_availability=availability,
-        )
+        return run_cell(cell, repeat, seed)
 
     def to_csv(self, path: Union[str, Path]) -> None:
         """Export the collected records.

@@ -1,0 +1,221 @@
+"""Process-pool execution engine for campaign and experiment sweeps.
+
+Sec. 5 of the paper calls for "automated and large-scale" measurement
+campaigns; a grid of independent, seeded cells is embarrassingly parallel,
+so every sweep in the package funnels through one runner:
+
+- a :class:`CellTask` names a module-level function, its keyword
+  arguments (seed included), and optional pack/unpack codecs for the
+  on-disk cache;
+- :class:`TaskRunner` executes a task list serially (``jobs <= 1``) or on
+  a ``ProcessPoolExecutor`` (``jobs > 1``), always returning results in
+  task order;
+- a crashed worker (``BrokenProcessPool``) only costs the tasks that were
+  in flight: the pool is rebuilt and each unfinished task retried up to
+  :attr:`TaskRunner.retries` times, with a final in-process fallback so a
+  hostile environment degrades to the serial path instead of failing;
+- with a :class:`~repro.core.cache.ResultCache` attached, cells whose key
+  (config x seed x calibration x code fingerprint) is already on disk are
+  replayed without recomputation.
+
+Determinism is the contract that makes all of this safe: every cell
+function is a pure function of its arguments, so serial, parallel and
+cache-replayed sweeps produce identical results — the equivalence test
+suite asserts byte-identical CSV exports across all three paths.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.cache import ResultCache, task_key
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One independent, seeded unit of sweep work.
+
+    Attributes:
+        name: Human-readable label (progress lines, error messages).
+        fn: A **module-level** callable — it crosses process boundaries by
+            pickling, so lambdas and bound methods are rejected.
+        kwargs: Keyword arguments for ``fn``; must be picklable, and
+            canonicalizable for the cache key (see
+            :func:`repro.core.cache.canonical`).
+        pack: Result -> JSON-serializable payload (cache write).
+        unpack: Payload -> result (cache replay).  ``pack``/``unpack``
+            must round-trip exactly for cache hits to be equivalent.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    pack: Optional[Callable[[Any], Any]] = None
+    unpack: Optional[Callable[[Any], Any]] = None
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise TypeError("CellTask.fn must be callable")
+        qualname = getattr(self.fn, "__qualname__", "")
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            raise ValueError(
+                f"CellTask.fn must be a module-level function, got {qualname!r}"
+            )
+
+    def cache_key(self) -> str:
+        """The content-addressed identity of this cell."""
+        return task_key(self.fn, self.kwargs)
+
+    def execute(self) -> Any:
+        """Run the cell in the current process."""
+        return self.fn(**self.kwargs)
+
+
+def _invoke(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Any:
+    """Worker-side trampoline (module-level, so it pickles)."""
+    return fn(**kwargs)
+
+
+@dataclass
+class RunStats:
+    """What one :meth:`TaskRunner.run` actually did."""
+
+    tasks: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    retries: int = 0
+    elapsed_s: float = 0.0
+
+    def hit_rate(self) -> float:
+        """Fraction of tasks replayed from cache."""
+        return self.cache_hits / self.tasks if self.tasks else 0.0
+
+
+class TaskRunner:
+    """Executes :class:`CellTask` lists serially or on a process pool."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        retries: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0/1 mean serial)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.retries = retries
+        self.progress = progress
+        self.stats = RunStats()
+
+    def run(self, tasks: Sequence[CellTask]) -> List[Any]:
+        """Execute every task; results come back in task order."""
+        started = time.monotonic()
+        self.stats = RunStats(tasks=len(tasks))
+        results: List[Any] = [None] * len(tasks)
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            payload = self.cache.get(task.cache_key()) if self.cache else None
+            if payload is not None:
+                results[index] = (
+                    task.unpack(payload) if task.unpack else payload
+                )
+                self.stats.cache_hits += 1
+                self._tick(f"{task.name} [cached]")
+            else:
+                pending.append(index)
+        if pending:
+            if self.jobs > 1:
+                self._run_pool(tasks, pending, results)
+            else:
+                for index in pending:
+                    results[index] = self._run_inline(tasks[index])
+        self.stats.elapsed_s = time.monotonic() - started
+        return results
+
+    # ------------------------------------------------------------------
+    # execution paths
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, task: CellTask) -> Any:
+        result = task.execute()
+        self._store(task, result)
+        self.stats.executed += 1
+        self._tick(task.name)
+        return result
+
+    def _run_pool(self, tasks: Sequence[CellTask], pending: List[int],
+                  results: List[Any]) -> None:
+        """Dispatch to a process pool, isolating worker crashes.
+
+        A ``BrokenProcessPool`` poisons every in-flight future, so the
+        pool is rebuilt and the unfinished tasks resubmitted; each task
+        carries its own retry budget, and a task that exhausts it falls
+        back to in-process execution (which surfaces the real exception
+        if the task itself — not the worker — is at fault).
+        """
+        budgets: Dict[int, int] = {i: self.retries for i in pending}
+        remaining = list(pending)
+        while remaining:
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = {
+                        pool.submit(_invoke, tasks[i].fn, dict(tasks[i].kwargs)): i
+                        for i in remaining
+                    }
+                    not_done = set(futures)
+                    while not_done:
+                        done, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            index = futures[future]
+                            task = tasks[index]
+                            results[index] = future.result()
+                            self._store(task, results[index])
+                            self.stats.executed += 1
+                            remaining.remove(index)
+                            self._tick(task.name)
+                return
+            except BrokenProcessPool:
+                retryable = []
+                for index in remaining:
+                    if budgets[index] > 0:
+                        budgets[index] -= 1
+                        self.stats.retries += 1
+                        retryable.append(index)
+                    else:
+                        results[index] = self._run_inline(tasks[index])
+                remaining = retryable
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _store(self, task: CellTask, result: Any) -> None:
+        if self.cache is not None:
+            payload = task.pack(result) if task.pack else result
+            self.cache.put(task.cache_key(), payload)
+
+    def _tick(self, label: str) -> None:
+        if self.progress is not None:
+            self.progress(label)
+
+
+def run_tasks(
+    tasks: Sequence[CellTask],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Any]:
+    """One-shot convenience wrapper around :class:`TaskRunner`."""
+    return TaskRunner(jobs=jobs, cache=cache, retries=retries,
+                      progress=progress).run(tasks)

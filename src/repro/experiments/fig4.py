@@ -15,12 +15,15 @@ second — the spatial persona's data rate, since the servers only forward
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import calibration
 from repro.analysis.stats import SummaryStats, summarize_samples
 from repro.analysis.throughput import throughput_windows_mbps
+from repro.core.cache import ResultCache
+from repro.core.parallel import CellTask, run_tasks
 from repro.core.testbed import default_two_user_testbed
 from repro.devices.models import Device, MacBook, VisionPro
 from repro.netsim.capture import Direction
@@ -90,10 +93,35 @@ def measure_configuration(
     return summarize_samples(windows)
 
 
+def pack_stats(stats: SummaryStats) -> Dict[str, float]:
+    """SummaryStats -> cacheable JSON payload."""
+    return dataclasses.asdict(stats)
+
+
+def unpack_stats(payload: Dict[str, float]) -> SummaryStats:
+    """Cache payload -> SummaryStats (exact round-trip)."""
+    return SummaryStats(**payload)
+
+
 def run(duration_s: float = 30.0, repeats: int = calibration.MIN_REPEATS,
-        seed: int = 0) -> Fig4Result:
-    """Measure every Fig. 4 configuration."""
-    return Fig4Result({
-        label: measure_configuration(label, duration_s, repeats, seed)
+        seed: int = 0, jobs: int = 1,
+        cache: Optional[ResultCache] = None) -> Fig4Result:
+    """Measure every Fig. 4 configuration.
+
+    Each configuration is an independent seeded cell, so the sweep shards
+    over ``jobs`` worker processes and replays from ``cache`` with results
+    identical to the serial path.
+    """
+    tasks = [
+        CellTask(
+            name=f"fig4/{label}",
+            fn=measure_configuration,
+            kwargs={"label": label, "duration_s": duration_s,
+                    "repeats": repeats, "seed": seed},
+            pack=pack_stats,
+            unpack=unpack_stats,
+        )
         for label in CONFIGURATIONS
-    })
+    ]
+    summaries = run_tasks(tasks, jobs=jobs, cache=cache)
+    return Fig4Result(dict(zip(CONFIGURATIONS, summaries)))

@@ -14,14 +14,17 @@ results: neither bandwidth nor CPU time changes under any optimization.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import calibration
 from repro.analysis.stats import SummaryStats, summarize_samples
+from repro.core.cache import ResultCache
+from repro.core.parallel import CellTask, run_tasks
 from repro.rendering.camera import Camera
 from repro.rendering.lod import LodPolicy, PersonaView, VisibilityState
 from repro.rendering.pipeline import RenderPipeline
@@ -96,19 +99,51 @@ class Fig5Result:
         }
 
 
-def run(frames_per_scenario: int = 300, seed: int = 0) -> Fig5Result:
-    """Render each controlled scenario and summarize the counters."""
+def render_scenario(name: str, index: int, frames_per_scenario: int,
+                    seed: int) -> Tuple[int, SummaryStats]:
+    """Render one Fig. 5 scenario — the unit of sweep work."""
+    pipeline = RenderPipeline(seed=seed + index)
+    camera, view = scenario_scene(name)
+    frames = [
+        pipeline.render_frame(i, camera, [view])
+        for i in range(frames_per_scenario)
+    ]
+    return frames[0].triangles, summarize_samples([f.gpu_ms for f in frames])
+
+
+def _pack_scenario(result: Tuple[int, SummaryStats]) -> Dict[str, object]:
+    triangles, stats = result
+    return {"triangles": triangles, "gpu": dataclasses.asdict(stats)}
+
+
+def _unpack_scenario(payload: Dict[str, object]) -> Tuple[int, SummaryStats]:
+    return int(payload["triangles"]), SummaryStats(**payload["gpu"])
+
+
+def run(frames_per_scenario: int = 300, seed: int = 0, jobs: int = 1,
+        cache: Optional[ResultCache] = None) -> Fig5Result:
+    """Render each controlled scenario and summarize the counters.
+
+    The four scenarios are independent seeded cells for the shared sweep
+    runner (``jobs``/``cache``).
+    """
+    tasks = [
+        CellTask(
+            name=f"fig5/{name}",
+            fn=render_scenario,
+            kwargs={"name": name, "index": index,
+                    "frames_per_scenario": frames_per_scenario, "seed": seed},
+            pack=_pack_scenario,
+            unpack=_unpack_scenario,
+        )
+        for index, name in enumerate(SCENARIOS)
+    ]
     triangles: Dict[str, int] = {}
     gpu: Dict[str, SummaryStats] = {}
-    for index, name in enumerate(SCENARIOS):
-        pipeline = RenderPipeline(seed=seed + index)
-        camera, view = scenario_scene(name)
-        frames = [
-            pipeline.render_frame(i, camera, [view])
-            for i in range(frames_per_scenario)
-        ]
-        triangles[name] = frames[0].triangles
-        gpu[name] = summarize_samples([f.gpu_ms for f in frames])
+    for name, (tri, stats) in zip(SCENARIOS,
+                                  run_tasks(tasks, jobs=jobs, cache=cache)):
+        triangles[name] = tri
+        gpu[name] = stats
     return Fig5Result(triangles, gpu)
 
 

@@ -11,14 +11,17 @@ Two coupled measurements per user count:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import calibration
 from repro.analysis.stats import SummaryStats, summarize_samples
 from repro.analysis.throughput import throughput_windows_mbps
+from repro.core.cache import ResultCache
+from repro.core.parallel import CellTask, run_tasks
 from repro.core.testbed import multi_user_testbed
 from repro.netsim.capture import Direction
 from repro.rendering.pipeline import RenderPipeline
@@ -65,28 +68,62 @@ class RenderScalability:
         return p5_growth < mean_growth
 
 
+def measure_rendering_cell(
+    n: int, duration_s: float, repeats: int, seed: int
+) -> Tuple[SummaryStats, SummaryStats, SummaryStats]:
+    """One user count's rendering counters — the unit of Fig. 6(a)(b) work."""
+    tri_samples: List[float] = []
+    gpu_samples: List[float] = []
+    cpu_samples: List[float] = []
+    for repeat in range(repeats):
+        pipeline = RenderPipeline(seed=seed + repeat * 10 + n)
+        frames = pipeline.render_session(
+            [f"U{i + 2}" for i in range(n - 1)], duration_s=duration_s
+        )
+        tri_samples.extend(float(f.triangles) for f in frames)
+        gpu_samples.extend(f.gpu_ms for f in frames)
+        cpu_samples.extend(f.cpu_ms for f in frames)
+    return (summarize_samples(tri_samples), summarize_samples(gpu_samples),
+            summarize_samples(cpu_samples))
+
+
+def _pack_rendering(result: Tuple[SummaryStats, ...]) -> List[Dict[str, float]]:
+    return [dataclasses.asdict(stats) for stats in result]
+
+
+def _unpack_rendering(
+    payload: List[Dict[str, float]]
+) -> Tuple[SummaryStats, SummaryStats, SummaryStats]:
+    tri, gpu, cpu = (SummaryStats(**entry) for entry in payload)
+    return tri, gpu, cpu
+
+
 def run_rendering(duration_s: float = 60.0,
                   repeats: int = calibration.MIN_REPEATS,
-                  seed: int = 0) -> RenderScalability:
-    """Render sessions for every user count and summarize the counters."""
+                  seed: int = 0, jobs: int = 1,
+                  cache: Optional[ResultCache] = None) -> RenderScalability:
+    """Render sessions for every user count and summarize the counters.
+
+    User counts are independent seeded cells for the shared sweep runner
+    (``jobs``/``cache``).
+    """
+    tasks = [
+        CellTask(
+            name=f"fig6/render/n{n}",
+            fn=measure_rendering_cell,
+            kwargs={"n": n, "duration_s": duration_s, "repeats": repeats,
+                    "seed": seed},
+            pack=_pack_rendering,
+            unpack=_unpack_rendering,
+        )
+        for n in USER_COUNTS
+    ]
     triangles: Dict[int, SummaryStats] = {}
     gpu: Dict[int, SummaryStats] = {}
     cpu: Dict[int, SummaryStats] = {}
-    for n in USER_COUNTS:
-        tri_samples: List[float] = []
-        gpu_samples: List[float] = []
-        cpu_samples: List[float] = []
-        for repeat in range(repeats):
-            pipeline = RenderPipeline(seed=seed + repeat * 10 + n)
-            frames = pipeline.render_session(
-                [f"U{i + 2}" for i in range(n - 1)], duration_s=duration_s
-            )
-            tri_samples.extend(float(f.triangles) for f in frames)
-            gpu_samples.extend(f.gpu_ms for f in frames)
-            cpu_samples.extend(f.cpu_ms for f in frames)
-        triangles[n] = summarize_samples(tri_samples)
-        gpu[n] = summarize_samples(gpu_samples)
-        cpu[n] = summarize_samples(cpu_samples)
+    for n, (tri, g, c) in zip(USER_COUNTS,
+                              run_tasks(tasks, jobs=jobs, cache=cache)):
+        triangles[n], gpu[n], cpu[n] = tri, g, c
     return RenderScalability(triangles, gpu, cpu)
 
 
@@ -115,20 +152,45 @@ class NetworkScalability:
         return True
 
 
+def measure_network_cell(n: int, duration_s: float, repeats: int,
+                         seed: int) -> SummaryStats:
+    """One user count's downlink summary — the unit of Fig. 6(c) work."""
+    facetime = PROFILES["FaceTime"]
+    windows: List[float] = []
+    for repeat in range(repeats):
+        testbed = multi_user_testbed(n)
+        session = testbed.session(facetime, seed=seed + repeat)
+        outcome = session.run(duration_s)
+        windows.extend(throughput_windows_mbps(
+            outcome.capture_of("U1"), Direction.DOWNLINK
+        ))
+    return summarize_samples(windows)
+
+
+def _pack_network(stats: SummaryStats) -> Dict[str, float]:
+    return dataclasses.asdict(stats)
+
+
+def _unpack_network(payload: Dict[str, float]) -> SummaryStats:
+    return SummaryStats(**payload)
+
+
 def run_network(duration_s: float = 20.0,
                 repeats: int = calibration.MIN_REPEATS,
-                seed: int = 0) -> NetworkScalability:
+                seed: int = 0, jobs: int = 1,
+                cache: Optional[ResultCache] = None) -> NetworkScalability:
     """All-Vision-Pro FaceTime sessions, 2-5 users, downlink at U1's AP."""
-    facetime = PROFILES["FaceTime"]
-    result: Dict[int, SummaryStats] = {}
-    for n in USER_COUNTS:
-        windows: List[float] = []
-        for repeat in range(repeats):
-            testbed = multi_user_testbed(n)
-            session = testbed.session(facetime, seed=seed + repeat)
-            outcome = session.run(duration_s)
-            windows.extend(throughput_windows_mbps(
-                outcome.capture_of("U1"), Direction.DOWNLINK
-            ))
-        result[n] = summarize_samples(windows)
-    return NetworkScalability(result)
+    tasks = [
+        CellTask(
+            name=f"fig6/network/n{n}",
+            fn=measure_network_cell,
+            kwargs={"n": n, "duration_s": duration_s, "repeats": repeats,
+                    "seed": seed},
+            pack=_pack_network,
+            unpack=_unpack_network,
+        )
+        for n in USER_COUNTS
+    ]
+    return NetworkScalability(dict(zip(
+        USER_COUNTS, run_tasks(tasks, jobs=jobs, cache=cache)
+    )))

@@ -22,9 +22,14 @@ path is deterministic.
 
 from __future__ import annotations
 
+import base64
+import dataclasses
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache import ResultCache
+from repro.core.parallel import CellTask, run_tasks
 from repro.core.testbed import default_two_user_testbed
 from repro.faults.ladder import LadderLevel
 from repro.faults.metrics import ResilienceReport
@@ -134,17 +139,70 @@ def run_profile(
     return row, resilience
 
 
+def _pack_outcome(
+    outcome: Tuple[ResilienceRow, SessionResilience]
+) -> Dict[str, object]:
+    """(row, detail) -> cacheable JSON payload.
+
+    The row is flattened to primitives (ladder occupancy keyed by rung
+    name); the session detail — a deep object graph — rides along as a
+    base64 pickle so a cache replay restores the full study, reconnect
+    events included.
+    """
+    row, detail = outcome
+    row_dict = dataclasses.asdict(row)
+    row_dict["occupancy"] = {
+        level.name: fraction for level, fraction in row.occupancy.items()
+    }
+    return {
+        "row": row_dict,
+        "detail_b64": base64.b64encode(pickle.dumps(detail)).decode("ascii"),
+    }
+
+
+def _unpack_outcome(
+    payload: Dict[str, object]
+) -> Tuple[ResilienceRow, SessionResilience]:
+    """Exact round-trip of :func:`_pack_outcome`."""
+    row_dict = dict(payload["row"])
+    row_dict["occupancy"] = {
+        LadderLevel[name]: fraction
+        for name, fraction in row_dict["occupancy"].items()
+    }
+    detail = pickle.loads(base64.b64decode(payload["detail_b64"]))
+    return ResilienceRow(**row_dict), detail
+
+
 def run(
     profiles: Sequence[str] = ("FaceTime", "Zoom", "Webex", "Teams"),
     duration_s: float = 30.0,
     seed: int = 0,
     config: Optional[ResilienceConfig] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ResilienceStudyResult:
-    """The full study: every profile, same seed, same gauntlet."""
+    """The full study: every profile, same seed, same gauntlet.
+
+    Profiles are independent cells, so the gauntlet shards over ``jobs``
+    worker processes and replays from ``cache`` — the study is identical
+    either way because :func:`run_profile` is a pure function of its
+    arguments.
+    """
+    tasks = [
+        CellTask(
+            name=f"resilience/{name}",
+            fn=run_profile,
+            kwargs={"profile_name": name, "duration_s": duration_s,
+                    "seed": seed, "config": config},
+            pack=_pack_outcome,
+            unpack=_unpack_outcome,
+        )
+        for name in profiles
+    ]
     rows: List[ResilienceRow] = []
     details: Dict[str, SessionResilience] = {}
-    for name in profiles:
-        row, detail = run_profile(name, duration_s, seed, config)
+    for name, (row, detail) in zip(profiles,
+                                   run_tasks(tasks, jobs=jobs, cache=cache)):
         rows.append(row)
         details[name] = detail
     return ResilienceStudyResult(

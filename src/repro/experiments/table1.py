@@ -7,12 +7,15 @@ cell's standard deviation is below 7 ms.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import calibration
 from repro.analysis.latency import measure_server_rtts
 from repro.analysis.stats import SummaryStats
+from repro.core.cache import ResultCache
+from repro.core.parallel import CellTask, run_tasks
 from repro.geo.regions import Region, test_clients
 from repro.geo.servers import ALL_FLEETS, Server
 
@@ -75,18 +78,48 @@ def _table1_servers() -> List[Server]:
     ]
 
 
-def run(repeats: int = calibration.MIN_REPEATS, seed: int = 0) -> Table1Result:
+def measure_region(region_value: str, repeats: int,
+                   seed: int) -> Dict[str, SummaryStats]:
+    """One test user's full server row — the unit of Table 1 work."""
+    client = test_clients()[Region(region_value)]
+    return measure_server_rtts(
+        client, _table1_servers(), repeats=repeats,
+        seed=seed + ord(region_value),
+    )
+
+
+def _pack_row(measured: Dict[str, SummaryStats]) -> Dict[str, Dict[str, float]]:
+    return {key: dataclasses.asdict(stats) for key, stats in measured.items()}
+
+
+def _unpack_row(payload: Dict[str, Dict[str, float]]) -> Dict[str, SummaryStats]:
+    return {key: SummaryStats(**stats) for key, stats in payload.items()}
+
+
+def run(repeats: int = calibration.MIN_REPEATS, seed: int = 0,
+        jobs: int = 1, cache: Optional[ResultCache] = None) -> Table1Result:
     """Measure the full matrix.
 
     Each cell is the mean of ``repeats`` TCP pings through a fresh
     simulated path (Sec. 3.2 repeats every experiment at least 5 times).
+    The three regional rows are independent cells for the shared sweep
+    runner (``jobs``/``cache``).
     """
-    servers = _table1_servers()
-    cells: Dict[Tuple[str, str], SummaryStats] = {}
-    for region, client in test_clients().items():
-        measured = measure_server_rtts(
-            client, servers, repeats=repeats, seed=seed + ord(region.value)
+    regions = [region.value for region in test_clients()]
+    tasks = [
+        CellTask(
+            name=f"table1/{region_value}",
+            fn=measure_region,
+            kwargs={"region_value": region_value, "repeats": repeats,
+                    "seed": seed},
+            pack=_pack_row,
+            unpack=_unpack_row,
         )
+        for region_value in regions
+    ]
+    cells: Dict[Tuple[str, str], SummaryStats] = {}
+    for region_value, measured in zip(regions, run_tasks(tasks, jobs=jobs,
+                                                         cache=cache)):
         for key, stats in measured.items():
-            cells[(region.value, key)] = stats
+            cells[(region_value, key)] = stats
     return Table1Result(cells)

@@ -8,11 +8,12 @@ comparison with one call or ``python -m repro report``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro import calibration
+from repro.core.cache import ResultCache
 from repro.experiments import (
     ablations,
     content_delivery,
@@ -27,11 +28,18 @@ from repro.experiments import (
 
 @dataclass(frozen=True)
 class ReportSettings:
-    """Knobs trading fidelity for runtime."""
+    """Knobs trading fidelity for runtime.
+
+    ``jobs``/``cache`` pass through to every sweep-capable experiment
+    driver, so the full reproduction shards over worker processes and
+    replays unchanged cells from the on-disk result cache.
+    """
 
     duration_s: float = 30.0
     repeats: int = calibration.MIN_REPEATS
     seed: int = 0
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
 
     @classmethod
     def quick(cls) -> "ReportSettings":
@@ -45,7 +53,8 @@ def _section(title: str, body: List[str]) -> str:
 
 def table1_section(settings: ReportSettings) -> str:
     """Table 1 markdown section."""
-    result = table1.run(repeats=settings.repeats, seed=settings.seed)
+    result = table1.run(repeats=settings.repeats, seed=settings.seed,
+                        jobs=settings.jobs, cache=settings.cache)
     errors = [abs(m - p) for _, _, m, p in result.paper_comparison()]
     header = "| Users | " + " | ".join(
         f"{vca[:2]}-{label}" for vca, label in calibration.TABLE1_COLUMNS
@@ -85,7 +94,8 @@ def protocols_section(settings: ReportSettings) -> str:
 def fig4_section(settings: ReportSettings) -> str:
     """Fig. 4 markdown section."""
     result = fig4.run(duration_s=settings.duration_s,
-                      repeats=settings.repeats, seed=settings.seed)
+                      repeats=settings.repeats, seed=settings.seed,
+                      jobs=settings.jobs, cache=settings.cache)
     rows = ["| cfg | measured mean | paper |", "|---|---|---|"]
     for label in fig4.CONFIGURATIONS:
         rows.append(
@@ -127,7 +137,8 @@ def rate_section(settings: ReportSettings) -> str:
 
 def fig5_section(settings: ReportSettings) -> str:
     """Fig. 5 markdown section."""
-    result = fig5.run(seed=settings.seed)
+    result = fig5.run(seed=settings.seed, jobs=settings.jobs,
+                      cache=settings.cache)
     rows = ["| scenario | triangles | GPU ms | paper |", "|---|---|---|---|"]
     for name, (tri, gpu) in fig5.PAPER_ANCHORS.items():
         s = result.gpu_ms[name]
@@ -148,9 +159,11 @@ def fig6_section(settings: ReportSettings) -> str:
     """Fig. 6 markdown section."""
     rendering = fig6.run_rendering(duration_s=settings.duration_s,
                                    repeats=settings.repeats,
-                                   seed=settings.seed)
+                                   seed=settings.seed, jobs=settings.jobs,
+                                   cache=settings.cache)
     network = fig6.run_network(duration_s=settings.duration_s / 2,
-                               repeats=settings.repeats, seed=settings.seed)
+                               repeats=settings.repeats, seed=settings.seed,
+                               jobs=settings.jobs, cache=settings.cache)
     rows = ["```", rendering.format_table(), "", network.format_table(), "```",
             ""]
     rows.append(

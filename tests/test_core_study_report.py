@@ -1,0 +1,131 @@
+"""Coverage for `repro.core.study` and `repro.report` — the full export path.
+
+The report is the repo's deliverable: every section, generated once
+serially and once through the sharded/cached path, must be the same
+string, and the CLI must write it to disk unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.cli import build_parser, main
+from repro.core.cache import ResultCache
+from repro.core.study import Repeated, Study, repeat_experiment
+from repro.report import ReportSettings, generate_report
+
+#: Smallest settings every section tolerates (fig6's network half runs at
+#: duration/2 and needs >2 s of windows).
+_SETTINGS = dict(duration_s=6.0, repeats=1, seed=3)
+
+_SECTIONS = (
+    "## Table 1 — server RTT matrix (ms)",
+    "## Sec. 4.1 — protocols, P2P, anycast",
+    "## Fig. 4 — two-party uplink throughput",
+    "## Sec. 4.3 — what is being delivered?",
+    "## Sec. 4.3 — rate adaptation",
+    "## Fig. 5 — visibility-aware optimizations",
+    "## Fig. 6 — scalability",
+    "## Ablations",
+)
+
+
+class TestStudy:
+    def test_repeat_experiment_hands_out_consecutive_seeds(self):
+        seen = []
+
+        def fn(seed: int) -> int:
+            seen.append(seed)
+            return seed * seed
+
+        result = repeat_experiment("squares", fn, repeats=4, base_seed=10)
+        assert seen == [10, 11, 12, 13]
+        assert result.n == 4
+        assert result.results == [100, 121, 144, 169]
+
+    def test_repeat_experiment_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            repeat_experiment("nope", lambda seed: seed, repeats=0)
+
+    def test_repeated_values_and_summary(self):
+        repeated = Repeated("r", [{"x": 1.0}, {"x": 3.0}])
+        assert repeated.values(lambda r: r["x"]) == [1.0, 3.0]
+        assert repeated.summary(lambda r: r["x"]).mean == 2.0
+
+    def test_study_collects_in_insertion_order(self):
+        study = Study("s", repeats=2, base_seed=5)
+        study.run("first", lambda seed: seed)
+        study.run("second", lambda seed: -seed)
+        assert study.experiment_names() == ["first", "second"]
+        assert study.get("first").results == [5, 6]
+        assert study.get("second").results == [-5, -6]
+
+    def test_study_defaults_follow_the_paper(self):
+        assert Study("s").repeats == calibration.MIN_REPEATS
+
+
+@pytest.fixture(scope="module")
+def serial_report() -> str:
+    return generate_report(ReportSettings(**_SETTINGS))
+
+
+class TestReport:
+    def test_every_section_present(self, serial_report):
+        for heading in _SECTIONS:
+            assert heading in serial_report
+
+    def test_quick_settings_are_shorter(self):
+        quick = ReportSettings.quick()
+        assert quick.duration_s < ReportSettings().duration_s
+        assert quick.jobs == 1 and quick.cache is None
+
+    def test_sharded_cached_report_identical(self, serial_report, tmp_path):
+        cold = generate_report(ReportSettings(
+            **_SETTINGS, jobs=2, cache=ResultCache(tmp_path)
+        ))
+        assert cold == serial_report
+        # Replay: the sweep-backed sections come straight off disk.
+        replay_cache = ResultCache(tmp_path)
+        warm = generate_report(ReportSettings(
+            **_SETTINGS, jobs=1, cache=replay_cache
+        ))
+        assert warm == serial_report
+        assert replay_cache.stats.hits > 0
+        assert replay_cache.stats.misses == 0
+
+
+class TestCli:
+    def test_parser_accepts_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--jobs", "4", "--no-cache", "--users", "2",
+             "--vcas", "Zoom"]
+        )
+        assert args.jobs == 4 and args.no_cache
+        args = build_parser().parse_args(["reproduce", "--jobs", "2"])
+        assert args.command == "reproduce"
+        args = build_parser().parse_args(["resilience", "--no-cache"])
+        assert args.no_cache
+
+    def test_report_subcommand_has_no_sweep_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--jobs", "2"])
+
+    def test_campaign_cli_end_to_end(self, tmp_path, capsys):
+        csv_path = tmp_path / "records.csv"
+        code = main([
+            "campaign", "--vcas", "Zoom", "--users", "2", "--duration", "3",
+            "--repeats", "1", "--jobs", "2", "--cache-dir",
+            str(tmp_path / "cache"), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Zoom" in out and "hit rate" in out
+        assert csv_path.read_text().startswith("vca,n_users")
+        # Second run replays entirely from the cache.
+        code = main([
+            "campaign", "--vcas", "Zoom", "--users", "2", "--duration", "3",
+            "--repeats", "1", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert "100% hit rate" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Golden equivalence: serial, parallel, and cache-replayed sweeps match.
+
+The parallel runner and the result cache are only admissible because they
+are invisible in the output: for the same seeds, `Campaign.run(jobs=8)`
+and a cache replay must export **byte-identical** CSVs to the historical
+serial loop.  These tests pin that contract on a grid covering all four
+VCA profiles, and exercise the runner's crash-isolation path.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.campaign import Campaign, CampaignRecord
+from repro.core.parallel import CellTask, TaskRunner, run_tasks
+
+#: Every VCA profile, three user counts — FaceTime's spatial cap keeps
+#: all of them legal (cap is five).
+GRID = dict(
+    vcas=("FaceTime", "Zoom", "Webex", "Teams"),
+    user_counts=(2, 3),
+    duration_s=3.0,
+    repeats=1,
+)
+
+
+def _campaign() -> Campaign:
+    return Campaign.grid(**GRID, base_seed=7)
+
+
+def _csv_bytes(campaign: Campaign, path: Path) -> bytes:
+    campaign.to_csv(path)
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def serial_csv(tmp_path_factory) -> bytes:
+    """The golden export: the serial path, no cache."""
+    campaign = _campaign()
+    campaign.run(jobs=1)
+    return _csv_bytes(campaign, tmp_path_factory.mktemp("serial") / "c.csv")
+
+
+class TestCampaignEquivalence:
+    def test_parallel1_identical_to_serial(self, serial_csv, tmp_path):
+        campaign = _campaign()
+        campaign.run(jobs=1, cache=None)
+        assert _csv_bytes(campaign, tmp_path / "p1.csv") == serial_csv
+
+    def test_parallel8_identical_to_serial(self, serial_csv, tmp_path):
+        campaign = _campaign()
+        campaign.run(jobs=8)
+        assert _csv_bytes(campaign, tmp_path / "p8.csv") == serial_csv
+        assert campaign.last_run_stats.executed == len(campaign.tasks())
+
+    def test_cache_replay_identical_after_disk_roundtrip(
+        self, serial_csv, tmp_path
+    ):
+        root = tmp_path / "cache"
+        cold = _campaign()
+        cold.run(jobs=8, cache=ResultCache(root))
+        assert _csv_bytes(cold, tmp_path / "cold.csv") == serial_csv
+        # A fresh campaign + fresh cache object: every record must come
+        # back off disk, and the export must not move by a byte.
+        warm = _campaign()
+        warm.run(jobs=1, cache=ResultCache(root))
+        assert _csv_bytes(warm, tmp_path / "warm.csv") == serial_csv
+        stats = warm.last_run_stats
+        assert stats.cache_hits == stats.tasks
+        assert stats.executed == 0
+        assert stats.hit_rate() >= 0.95
+
+    def test_seed_allocation_matches_serial_order(self, serial_csv):
+        campaign = _campaign()
+        records = campaign.run(jobs=8)
+        expected = list(range(7, 7 + len(records)))
+        assert [r.seed for r in records] == expected
+
+    def test_records_are_records(self, serial_csv):
+        campaign = _campaign()
+        for record in campaign.run(jobs=2):
+            assert isinstance(record, CampaignRecord)
+
+
+# ---------------------------------------------------------------------------
+# Runner behaviour that the campaign path doesn't reach
+# ---------------------------------------------------------------------------
+
+def _touch_or_crash(sentinel: str, value: int) -> int:
+    """Crashes the worker on first call, succeeds on retry."""
+    path = Path(sentinel)
+    if not path.exists():
+        path.write_text("crashed once")
+        os._exit(13)  # hard kill: simulates a segfaulting worker
+    return value * 2
+
+
+def _double(value: int) -> int:
+    return value * 2
+
+
+def _boom(value: int) -> int:
+    raise RuntimeError(f"cell {value} is deterministically broken")
+
+
+class TestTaskRunner:
+    def test_results_come_back_in_task_order(self):
+        tasks = [CellTask(name=f"t{i}", fn=_double, kwargs={"value": i})
+                 for i in range(6)]
+        assert run_tasks(tasks, jobs=3) == [0, 2, 4, 6, 8, 10]
+
+    def test_worker_crash_is_isolated_and_retried(self, tmp_path):
+        sentinel = tmp_path / "crash-once"
+        tasks = [
+            CellTask(name="survivor", fn=_double, kwargs={"value": 21}),
+            CellTask(name="crasher", fn=_touch_or_crash,
+                     kwargs={"sentinel": str(sentinel), "value": 21}),
+        ]
+        runner = TaskRunner(jobs=2, retries=2)
+        assert runner.run(tasks) == [42, 42]
+        assert runner.stats.retries >= 1
+
+    def test_task_exception_propagates(self):
+        tasks = [CellTask(name="boom", fn=_boom, kwargs={"value": 1})]
+        with pytest.raises(RuntimeError, match="deterministically broken"):
+            run_tasks(tasks, jobs=2)
+        with pytest.raises(RuntimeError, match="deterministically broken"):
+            run_tasks(tasks, jobs=1)
+
+    def test_lambda_task_rejected(self):
+        with pytest.raises(ValueError, match="module-level"):
+            CellTask(name="bad", fn=lambda: 1)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            CellTask(name="bad", fn=42)
+
+    def test_invalid_runner_params(self):
+        with pytest.raises(ValueError):
+            TaskRunner(jobs=-1)
+        with pytest.raises(ValueError):
+            TaskRunner(retries=-1)
+
+    def test_progress_reports_cached_and_executed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [CellTask(name=f"t{i}", fn=_double, kwargs={"value": i})
+                 for i in range(3)]
+        run_tasks(tasks, cache=cache)
+        seen: list = []
+        run_tasks(tasks, cache=ResultCache(tmp_path), progress=seen.append)
+        assert seen == ["t0 [cached]", "t1 [cached]", "t2 [cached]"]

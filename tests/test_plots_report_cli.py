@@ -77,7 +77,8 @@ class TestCliParser:
         )
         assert set(sub.choices) == {
             "table1", "protocols", "fig4", "content", "rate",
-            "fig5", "fig6", "ablations", "resilience", "validate", "report",
+            "fig5", "fig6", "ablations", "resilience", "campaign",
+            "validate", "report", "reproduce",
         }
 
     def test_missing_command_errors(self):

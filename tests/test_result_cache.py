@@ -1,0 +1,175 @@
+"""Cache correctness: keying, corruption detection, staleness.
+
+The cache key must move when *anything* that determines a result moves —
+cell config, seed, calibration constants, code fingerprint — and a
+damaged entry must read as a miss (recompute), never as a crash or a
+stale answer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro import calibration
+from repro.core import cache as cache_mod
+from repro.core.cache import (
+    ResultCache,
+    canonical,
+    code_fingerprint,
+    default_cache_root,
+    task_key,
+)
+from repro.core.campaign import CampaignCell, run_cell
+from repro.devices.models import VisionPro
+
+
+def _probe(seed: int = 0) -> int:
+    return seed
+
+
+class TestTaskKey:
+    def test_deterministic(self):
+        assert task_key(_probe, {"seed": 1}) == task_key(_probe, {"seed": 1})
+
+    def test_changes_with_kwargs(self):
+        assert task_key(_probe, {"seed": 1}) != task_key(_probe, {"seed": 2})
+
+    def test_changes_with_function(self):
+        assert task_key(_probe, {"seed": 1}) != task_key(run_cell, {"seed": 1})
+
+    def test_changes_with_cell_config(self):
+        a = CampaignCell("Zoom", 2, duration_s=5.0, repeats=1)
+        b = CampaignCell("Zoom", 3, duration_s=5.0, repeats=1)
+        c = CampaignCell("Webex", 2, duration_s=5.0, repeats=1)
+        keys = {task_key(run_cell, {"cell": cell, "repeat": 0, "seed": 0})
+                for cell in (a, b, c)}
+        assert len(keys) == 3
+
+    def test_changes_with_calibration_constant(self, monkeypatch):
+        before = task_key(_probe, {"seed": 0})
+        monkeypatch.setattr(calibration, "TARGET_FPS", 120)
+        assert task_key(_probe, {"seed": 0}) != before
+
+    def test_changes_with_calibration_version(self, monkeypatch):
+        before = task_key(_probe, {"seed": 0})
+        monkeypatch.setattr(calibration, "CALIBRATION_VERSION", 999)
+        assert task_key(_probe, {"seed": 0}) != before
+
+    def test_changes_with_code_fingerprint(self, monkeypatch):
+        before = task_key(_probe, {"seed": 0})
+        monkeypatch.setattr(cache_mod, "_CODE_FINGERPRINT", "f" * 64)
+        assert task_key(_probe, {"seed": 0}) != before
+
+    def test_code_fingerprint_is_memoized_sha256(self):
+        first = code_fingerprint()
+        assert len(first) == 64
+        assert code_fingerprint() == first
+
+
+@dataclass(frozen=True)
+class _Config:
+    threshold: float = 0.5
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        assert canonical(None) is None
+        assert canonical(3) == 3
+        assert canonical(1.5) == 1.5
+        assert canonical("x") == "x"
+        assert canonical(True) is True
+
+    def test_tuples_become_lists(self):
+        assert canonical((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_mapping_keys_sorted(self):
+        assert (json.dumps(canonical({"b": 1, "a": 2}))
+                == json.dumps(canonical(dict([("a", 2), ("b", 1)]))))
+
+    def test_callable_becomes_qualname(self):
+        assert canonical(VisionPro) == {
+            "__callable__": "repro.devices.models.VisionPro"
+        }
+
+    def test_dataclass_tagged_with_type(self):
+        out = canonical(_Config())
+        assert out["threshold"] == 0.5
+        assert out["__dataclass__"].endswith("_Config")
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"value": [1, 2, 3]})
+        assert cache.get("ab" * 32) == {"value": [1, 2, 3]}
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("cd" * 32) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate() == 0.0
+
+    def test_truncated_entry_recomputed_not_crashed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"value": 42})
+        path = cache.path_for(key)
+        path.write_text(path.read_text()[:10])  # simulate torn write
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # damaged entry evicted
+        cache.put(key, {"value": 42})  # recompute path works
+        assert cache.get(key) == {"value": 42}
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "01" * 32
+        cache.put(key, {"value": 1})
+        path = cache.path_for(key)
+        entry = json.loads(path.read_text())
+        entry["payload"]["value"] = 2  # bit-flip without updating checksum
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_entry_under_wrong_key_not_served(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, {"value": 1})
+        src = cache.path_for("aa" * 32)
+        dst = cache.path_for("bb" * 32)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text())  # stale entry renamed into place
+        assert cache.get("bb" * 32) is None
+        assert cache.stats.corrupt == 1
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        for i in range(3):
+            cache.put(f"{i:02d}" * 32, i)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_env_override_of_default_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "alt"))
+        assert default_cache_root() == tmp_path / "alt"
+
+    def test_stale_result_never_served_after_config_change(self, tmp_path):
+        """The end-to-end staleness property: a changed cell recomputes."""
+        cache = ResultCache(tmp_path)
+        cell_a = CampaignCell("Zoom", 2, duration_s=5.0, repeats=1)
+        key_a = task_key(run_cell, {"cell": cell_a, "repeat": 0, "seed": 0})
+        cache.put(key_a, {"poisoned": True})
+        cell_b = CampaignCell("Zoom", 2, duration_s=6.0, repeats=1)
+        key_b = task_key(run_cell, {"cell": cell_b, "repeat": 0, "seed": 0})
+        assert key_a != key_b
+        assert cache.get(key_b) is None

@@ -95,6 +95,14 @@ class TestCampaign:
         with pytest.raises(ValueError):
             CampaignCell("Zoom", 2, duration_s=0)
 
+    def test_device_factory_must_return_device(self):
+        # Regression: a factory returning a non-Device used to slip
+        # through __post_init__ and blow up mid-campaign instead.
+        with pytest.raises(ValueError, match="must return a Device"):
+            CampaignCell("Zoom", 2, device_factory=lambda: "not a device")
+        with pytest.raises(ValueError, match="callable"):
+            CampaignCell("Zoom", 2, device_factory="VisionPro")
+
     def test_grid_skips_over_cap_facetime(self):
         campaign = Campaign.grid(["FaceTime", "Webex"], [2, 6],
                                  duration_s=1.0, repeats=1)
