@@ -1,0 +1,99 @@
+"""Bench: what crash-safety costs, and what resume buys back.
+
+Three questions, one small campaign grid each:
+
+- ``journal overhead``  — a journaled sweep vs a bare one: every cell is
+  fsynced to the checkpoint journal, so this measures the durability tax
+  (expected: small against real cell work).
+- ``resume replay``     — resuming a fully-journaled sweep vs recomputing
+  it: replay decodes stored payloads instead of simulating sessions, so
+  it should win by a wide margin.
+- ``watchdog overhead`` — an armed-but-idle deadline watchdog vs none:
+  the pool's event loop wakes to check deadlines; when nothing hangs
+  that must be close to free.
+"""
+
+import time
+
+from repro.core.campaign import Campaign
+from repro.core.journal import RunJournal
+
+GRID = dict(
+    vcas=("Zoom", "Webex"),
+    user_counts=(2, 3),
+    duration_s=4.0,
+    repeats=1,
+)
+
+
+def _campaign() -> Campaign:
+    return Campaign.grid(**GRID, base_seed=0)
+
+
+def test_journaled_sweep(benchmark, tmp_path):
+    """A cold journaled run: per-cell fsync included."""
+    campaign = _campaign()
+    with RunJournal(tmp_path / "run.jsonl") as journal:
+        benchmark.pedantic(campaign.run,
+                           kwargs={"jobs": 1, "journal": journal},
+                           rounds=1, iterations=1)
+    assert campaign.last_run_stats.executed == len(campaign.tasks())
+
+
+def test_resume_replay(benchmark, tmp_path):
+    """Resuming a finished sweep must not recompute a single cell."""
+    path = tmp_path / "run.jsonl"
+    cold = _campaign()
+    with RunJournal(path) as journal:
+        cold.run(jobs=1, journal=journal)
+    warm = _campaign()
+    with RunJournal(path) as journal:
+        benchmark.pedantic(
+            warm.run,
+            kwargs={"jobs": 1, "journal": journal, "resume": True},
+            rounds=1, iterations=1,
+        )
+    stats = warm.last_run_stats
+    assert stats.resumed == len(warm.tasks())
+    assert stats.executed == 0
+    assert warm.records == cold.records
+
+
+def test_watchdog_armed_idle(benchmark):
+    """Deadline checks on a pool where nothing ever hangs."""
+    campaign = _campaign()
+    benchmark.pedantic(campaign.run,
+                       kwargs={"jobs": 2, "timeout": 300.0},
+                       rounds=1, iterations=1)
+    assert campaign.last_run_stats.timeouts == 0
+    assert campaign.last_run_stats.executed == len(campaign.tasks())
+
+
+def test_crash_safety_summary(tmp_path):
+    """One comparative table: bare vs journaled vs resumed wall time."""
+    started = time.monotonic()
+    bare = _campaign()
+    bare.run(jobs=1)
+    bare_s = time.monotonic() - started
+
+    path = tmp_path / "run.jsonl"
+    started = time.monotonic()
+    journaled = _campaign()
+    with RunJournal(path) as journal:
+        journaled.run(jobs=1, journal=journal)
+    journaled_s = time.monotonic() - started
+
+    started = time.monotonic()
+    resumed = _campaign()
+    with RunJournal(path) as journal:
+        resumed.run(jobs=1, journal=journal, resume=True)
+    resumed_s = time.monotonic() - started
+
+    assert bare.records == journaled.records == resumed.records
+    assert resumed.last_run_stats.resumed == len(resumed.tasks())
+    overhead = (journaled_s - bare_s) / max(bare_s, 1e-9)
+    print(
+        f"\nbare {bare_s:6.2f} s | journaled {journaled_s:6.2f} s "
+        f"(+{overhead:.0%} fsync tax) | resume {resumed_s:6.2f} s "
+        f"({bare_s / max(resumed_s, 1e-9):.0f}x faster than recompute)"
+    )

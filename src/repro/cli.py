@@ -7,6 +7,8 @@ layout; ``report`` runs everything and emits the markdown comparison.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from typing import List, Optional
 
@@ -23,7 +25,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_sweep(parser: argparse.ArgumentParser) -> None:
-    """Flags of the sweep-capable subcommands (parallelism + caching)."""
+    """Flags of the sweep-capable subcommands (parallelism, caching,
+    and crash-safe execution)."""
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = serial)")
     parser.add_argument("--no-cache", action="store_true",
@@ -31,6 +34,22 @@ def _add_sweep(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir",
                         help="result-cache root (default: REPRO_CACHE_DIR "
                              "or ~/.cache/repro-sweeps)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell watchdog deadline; a hung worker is "
+                             "killed and the cell retried as transient")
+    parser.add_argument("--max-retries", type=int, default=1,
+                        help="transient-failure retries per cell "
+                             "(exponential backoff between attempts)")
+    parser.add_argument("--journal",
+                        help="checkpoint-journal path (campaign default: "
+                             "derived from the sweep fingerprint under the "
+                             "cache root)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay cells already checkpointed in the "
+                             "journal and run only the remainder")
+    parser.add_argument("--manifest",
+                        help="write the run-manifest JSON to this path")
 
 
 def _sweep_cache(args):
@@ -40,6 +59,71 @@ def _sweep_cache(args):
     from repro.core.cache import ResultCache
 
     return ResultCache(args.cache_dir)
+
+
+def _explicit_journal(args):
+    """The RunJournal named by --journal (required for --resume here)."""
+    from repro.core.journal import RunJournal
+
+    if args.journal:
+        return RunJournal(args.journal)
+    if args.resume:
+        raise SystemExit(
+            "error: --resume needs --journal PATH for this subcommand "
+            "(only 'campaign' derives a default journal path)"
+        )
+    return None
+
+
+@contextlib.contextmanager
+def _graceful_interrupts():
+    """Turn SIGINT/SIGTERM into CampaignInterrupted inside the block.
+
+    The runner reacts by draining finished workers, killing the rest,
+    and flushing the checkpoint journal — so the command can exit with a
+    "resume with --resume" hint instead of a raw traceback.
+    """
+    from repro.core.errors import CampaignInterrupted
+
+    def _handler(signum, frame):
+        del frame
+        raise CampaignInterrupted(signal.Signals(signum).name)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+def _interrupted_exit(journal_path) -> int:
+    """The operator-facing landing after SIGINT/SIGTERM mid-sweep."""
+    print(
+        f"\ninterrupted — completed cells are checkpointed in "
+        f"{journal_path}\nresume with the same command plus: --resume",
+        file=sys.stderr,
+    )
+    return 130
+
+
+def _print_manifest(manifest, args) -> None:
+    """CLI accounting: summary line, anomalies, optional JSON dump."""
+    print(f"manifest: {manifest.summary_line()}")
+    for cell in manifest.fallbacks():
+        print(f"  fallback: {cell.name} ran in-process after "
+              f"{cell.attempts} worker attempt(s)")
+    for cell in manifest.quarantined():
+        reason = (cell.error or {}).get("message", "unknown")
+        print(f"  quarantined: {cell.name} — {reason}")
+    if getattr(args, "manifest", None):
+        manifest.write(args.manifest)
+        print(f"wrote manifest {args.manifest}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,11 +270,31 @@ def _cmd_ablations(args) -> int:
 
 
 def _cmd_resilience(args) -> int:
+    from repro.core.errors import CampaignInterrupted
+    from repro.core.journal import RunManifest
     from repro.experiments import resilience
 
     duration = max(args.duration, 10.0)  # the gauntlet needs >= 10 s
-    result = resilience.run(duration_s=duration, seed=args.seed,
-                            jobs=args.jobs, cache=_sweep_cache(args))
+    journal = _explicit_journal(args)
+    manifest = RunManifest()
+    try:
+        with _graceful_interrupts():
+            result = resilience.run(duration_s=duration, seed=args.seed,
+                                    jobs=args.jobs, cache=_sweep_cache(args),
+                                    timeout=args.cell_timeout,
+                                    retries=args.max_retries,
+                                    journal=journal, resume=args.resume,
+                                    manifest=manifest)
+    except CampaignInterrupted:
+        if journal is not None:
+            return _interrupted_exit(journal.path)
+        print("\ninterrupted — no journal; pass --journal PATH to make "
+              "this sweep resumable", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    _print_manifest(manifest, args)
     print(result.format_table())
     print(f"all profiles recovered: {result.all_recovered()}")
     facetime = result.details["FaceTime"]
@@ -212,24 +316,41 @@ def _cmd_validate(args) -> int:
 
 def _cmd_campaign(args) -> int:
     from repro.core.campaign import Campaign
+    from repro.core.errors import CampaignInterrupted
+    from repro.core.journal import RunJournal
 
     campaign = Campaign.grid(args.vcas, args.users,
                              duration_s=args.duration, repeats=args.repeats,
                              base_seed=args.seed)
-    campaign.run(progress=lambda line: print(f"  {line}"),
-                 jobs=args.jobs, cache=_sweep_cache(args))
+    journal_path = (args.journal if args.journal
+                    else campaign.default_journal_path(args.cache_dir))
+    journal = RunJournal(journal_path)
+    try:
+        with _graceful_interrupts():
+            campaign.run(progress=lambda line: print(f"  {line}"),
+                         jobs=args.jobs, cache=_sweep_cache(args),
+                         timeout=args.cell_timeout,
+                         max_retries=args.max_retries,
+                         journal=journal, resume=args.resume)
+    except CampaignInterrupted:
+        return _interrupted_exit(journal_path)
+    finally:
+        journal.close()
     for vca, summary in campaign.summary_by("vca").items():
         print(f"{vca:10s} sessions={summary['sessions']:3.0f}  "
               f"up={summary['uplink_mbps_mean']:6.2f} Mbps  "
               f"down={summary['downlink_mbps_mean']:6.2f} Mbps")
     stats = campaign.last_run_stats
     print(f"{stats.tasks} cells: {stats.executed} executed, "
-          f"{stats.cache_hits} cached ({stats.hit_rate():.0%} hit rate) "
+          f"{stats.cache_hits} cached ({stats.hit_rate():.0%} hit rate), "
+          f"{stats.resumed} resumed, {stats.retries} retries, "
+          f"{stats.timeouts} timeouts "
           f"in {stats.elapsed_s:.1f} s with jobs={args.jobs}")
+    _print_manifest(campaign.last_manifest, args)
     if args.csv:
         campaign.to_csv(args.csv)
         print(f"wrote {args.csv}")
-    return 0
+    return 0 if not campaign.skipped else 3
 
 
 def _cmd_report(args) -> int:
@@ -237,15 +358,47 @@ def _cmd_report(args) -> int:
 
     import dataclasses
 
+    sweep_capable = hasattr(args, "jobs")
     jobs = getattr(args, "jobs", 1)
-    cache = _sweep_cache(args) if hasattr(args, "jobs") else None
+    cache = _sweep_cache(args) if sweep_capable else None
+    sweep = {}
+    journal = None
+    if sweep_capable:
+        from repro.core.journal import RunManifest
+
+        journal = _explicit_journal(args)
+        sweep = dict(
+            cell_timeout=args.cell_timeout, max_retries=args.max_retries,
+            journal=journal, resume=args.resume, manifest=RunManifest(),
+        )
     settings = (
-        dataclasses.replace(ReportSettings.quick(), jobs=jobs, cache=cache)
+        dataclasses.replace(ReportSettings.quick(), jobs=jobs, cache=cache,
+                            **sweep)
         if args.quick
         else ReportSettings(duration_s=args.duration, repeats=args.repeats,
-                            seed=args.seed, jobs=jobs, cache=cache)
+                            seed=args.seed, jobs=jobs, cache=cache, **sweep)
     )
-    markdown = generate_report(settings)
+    try:
+        if sweep_capable:
+            from repro.core.errors import CampaignInterrupted
+
+            try:
+                with _graceful_interrupts():
+                    markdown = generate_report(settings)
+            except CampaignInterrupted:
+                if journal is not None:
+                    return _interrupted_exit(journal.path)
+                print("\ninterrupted — no journal; pass --journal PATH to "
+                      "make the reproduction resumable", file=sys.stderr)
+                return 130
+        else:
+            markdown = generate_report(settings)
+    finally:
+        if journal is not None:
+            journal.close()
+    if sweep_capable and getattr(args, "manifest", None):
+        settings.manifest.write(args.manifest)
+        print(f"wrote manifest {args.manifest}", file=sys.stderr)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(markdown)

@@ -10,6 +10,25 @@ from repro.core.testbed import Testbed, default_two_user_testbed
 from repro.core.study import Study, Repeated, repeat_experiment
 from repro.core.campaign import Campaign, CampaignCell, CampaignRecord
 from repro.core.cache import CacheStats, ResultCache, task_key
+from repro.core.errors import (
+    CampaignInterrupted,
+    Category,
+    CellError,
+    CellFailure,
+    CellTimeoutError,
+    DeterministicError,
+    PoisonCell,
+    RetryPolicy,
+    TransientError,
+    WorkerCrashError,
+    classify,
+)
+from repro.core.journal import (
+    CellOutcome,
+    RunJournal,
+    RunManifest,
+    run_fingerprint,
+)
 from repro.core.parallel import CellTask, RunStats, TaskRunner, run_tasks
 
 __all__ = [
@@ -24,6 +43,21 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "task_key",
+    "CampaignInterrupted",
+    "Category",
+    "CellError",
+    "CellFailure",
+    "CellTimeoutError",
+    "DeterministicError",
+    "PoisonCell",
+    "RetryPolicy",
+    "TransientError",
+    "WorkerCrashError",
+    "classify",
+    "CellOutcome",
+    "RunJournal",
+    "RunManifest",
+    "run_fingerprint",
     "CellTask",
     "RunStats",
     "TaskRunner",

@@ -38,6 +38,20 @@ CACHE_FORMAT_VERSION = 1
 _CODE_FINGERPRINT: Optional[str] = None
 
 
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a power cut."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-fd support
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
 def default_cache_root() -> Path:
     """The on-disk cache location (env override, else ``~/.cache``)."""
     env = os.environ.get(CACHE_DIR_ENV)
@@ -170,22 +184,39 @@ class ResultCache:
         return entry["payload"]
 
     def put(self, key: str, payload: Any) -> None:
-        """Store a payload atomically (write-to-temp, then rename)."""
+        """Store a payload atomically and durably.
+
+        The entry is written to a temp file *in the same directory*,
+        fsynced, then renamed over the target with ``os.replace`` — and
+        the directory is fsynced so the rename itself survives a power
+        cut.  A crash at any point leaves either the old entry, no
+        entry, or an orphan temp file (which ``get`` never reads and
+        ``clear`` sweeps up) — never a half-written entry.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"key": key, "checksum": _digest(payload), "payload": payload}
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        tmp.replace(path)
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(json.dumps(entry, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+        finally:
+            tmp.unlink(missing_ok=True)
         self.stats.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and orphan temp files); counts entries."""
         removed = 0
         if self.root.exists():
             for path in self.root.rglob("*.json"):
                 path.unlink()
                 removed += 1
+            for path in self.root.rglob("*.tmp.*"):
+                path.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:

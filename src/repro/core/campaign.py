@@ -26,7 +26,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 from repro import calibration
 from repro.analysis.protocol import classify_capture
 from repro.analysis.throughput import throughput_windows_mbps
-from repro.core.cache import ResultCache
+from repro.core.cache import ResultCache, default_cache_root
+from repro.core.errors import CellFailure, RetryPolicy
+from repro.core.journal import RunJournal, RunManifest, run_fingerprint
 from repro.core.parallel import CellTask, RunStats, TaskRunner
 from repro.core.testbed import multi_user_testbed
 from repro.devices.models import Device, VisionPro
@@ -148,7 +150,9 @@ class Campaign:
         self.cells = list(cells)
         self.base_seed = base_seed
         self.records: List[CampaignRecord] = []
+        self.skipped: List[CellFailure] = []
         self.last_run_stats: Optional[RunStats] = None
+        self.last_manifest: Optional[RunManifest] = None
 
     @classmethod
     def grid(
@@ -196,22 +200,57 @@ class Campaign:
                 seed += 1
         return tasks
 
+    def fingerprint(self) -> str:
+        """A stable identity for this exact sweep (sorted cell keys).
+
+        Moves whenever anything that could change a record moves — grid,
+        seeds, calibration, or code — so a resume can never replay a
+        stale journal into a different campaign.
+        """
+        return run_fingerprint(task.cache_key() for task in self.tasks())
+
+    def default_journal_path(self, root: Optional[Union[str, Path]] = None
+                             ) -> Path:
+        """Where this campaign's checkpoint journal lives by default."""
+        base = Path(root) if root is not None else default_cache_root()
+        return base / "journals" / f"{self.fingerprint()}.jsonl"
+
     def run(
         self,
         progress: Optional[Callable[[str], None]] = None,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
+        *,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        journal: Optional[RunJournal] = None,
+        resume: bool = False,
+        manifest: Optional[RunManifest] = None,
+        failfast: bool = True,
     ) -> List[CampaignRecord]:
         """Execute every cell; returns (and stores) the records.
 
         ``jobs > 1`` shards the (cell, repeat) grid over worker
-        processes; ``cache`` replays unchanged cells from disk.  Either
-        way the records — and any CSV exported from them — are identical
-        to a serial, cold run.
+        processes; ``cache`` replays unchanged cells from disk; a
+        ``journal`` checkpoints every finished cell so ``resume=True``
+        survives SIGINT/SIGKILL/crash; ``timeout`` arms the per-cell
+        watchdog and ``max_retries`` bounds transient retries.  Whatever
+        the path — serial, sharded, cached, or resumed — the records,
+        and any CSV exported from them, are identical to a serial cold
+        run.  Quarantined cells are excluded from :attr:`records` and
+        listed in :attr:`skipped` and the manifest.
         """
-        runner = TaskRunner(jobs=jobs, cache=cache, progress=progress)
-        self.records = runner.run(self.tasks())
+        policy = (RetryPolicy(max_retries=max_retries)
+                  if max_retries is not None else None)
+        runner = TaskRunner(jobs=jobs, cache=cache, progress=progress,
+                            timeout=timeout, policy=policy, journal=journal,
+                            resume=resume, manifest=manifest,
+                            failfast=failfast)
+        results = runner.run(self.tasks())
+        self.records = [r for r in results if not isinstance(r, CellFailure)]
+        self.skipped = [r for r in results if isinstance(r, CellFailure)]
         self.last_run_stats = runner.stats
+        self.last_manifest = runner.manifest
         return self.records
 
     def _run_one(self, cell: CampaignCell, repeat: int,

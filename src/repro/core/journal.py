@@ -1,0 +1,331 @@
+"""Crash-safe checkpoint journal and per-run manifest for sweeps.
+
+A multi-hour campaign must survive SIGINT, a SIGKILLed worker, and a
+machine crash without losing the cells it already finished.  Two
+artifacts make that true:
+
+- :class:`RunJournal` — an append-only JSONL file.  Every completed cell
+  is appended (with its packed payload) and fsynced before the sweep
+  moves on, so after *any* interruption the journal holds exactly the
+  finished work.  ``--resume`` replays those payloads through the cell's
+  ``unpack`` codec — byte-identical to an undisturbed run, because the
+  payloads are the same ones the result cache would have stored — and
+  executes only the remainder.  A torn final line (crash mid-append) is
+  detected and skipped, costing at most one cell.
+- :class:`RunManifest` — the auditable record of what one run actually
+  did: per-cell outcome, attempts, durations, retry/backoff history,
+  inline fallbacks, and quarantine reasons.  Written atomically as JSON
+  (temp file + ``os.replace``) so a crash can never leave a half
+  manifest.
+
+Journal entries are keyed by the cell's content-addressed cache key
+(config x seed x calibration x code fingerprint), so a journal can never
+replay a stale result into a changed sweep: edit anything that matters
+and the keys simply stop matching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+#: Bump to orphan every existing journal wholesale.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Cell outcome states recorded in journals and manifests.
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_RESUMED = "resumed"
+STATUS_FAILED = "failed"
+STATUS_QUARANTINED = "quarantined"
+
+#: States that mean "this cell has a replayable payload".
+_COMPLETED = (STATUS_OK, STATUS_CACHED)
+
+
+def run_fingerprint(keys: Iterable[str]) -> str:
+    """A stable identity for one sweep: sha256 over its sorted cell keys.
+
+    Used to derive a default journal path, so ``--resume`` finds the
+    right journal without the operator naming it.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(keys):
+        digest.update(key.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class RunJournal:
+    """Append-only JSONL checkpoint of completed/failed sweep cells."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._seen: Dict[str, Dict[str, Any]] = {}
+        self._handle = None
+        self._fresh = False
+        self.torn_lines = 0
+
+    # ------------------------------------------------------------------
+    # reading (resume)
+    # ------------------------------------------------------------------
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Entries by cell key; undecodable (torn) lines are skipped.
+
+        The last decodable entry per key wins, so a cell that failed and
+        later succeeded resumes as a success.
+        """
+        self._seen = {}
+        self.torn_lines = 0
+        if not self.path.exists():
+            return {}
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                try:
+                    entry = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    self.torn_lines += 1
+                    continue
+                if not isinstance(entry, dict):
+                    self.torn_lines += 1
+                    continue
+                if entry.get("journal") is not None:
+                    if entry.get("version") != JOURNAL_FORMAT_VERSION:
+                        # Incompatible journal: pretend it is empty.
+                        self._seen = {}
+                        return {}
+                    continue
+                key = entry.get("key")
+                if isinstance(key, str):
+                    self._seen[key] = entry
+        return dict(self._seen)
+
+    def completed_payloads(self) -> Dict[str, Any]:
+        """key -> packed payload for every cell finished in a prior run."""
+        return {
+            key: entry.get("payload")
+            for key, entry in self._seen.items()
+            if entry.get("status") in _COMPLETED
+        }
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def ensure_fresh(self) -> None:
+        """Truncate once per journal instance (not once per sweep).
+
+        A full report threads one journal through many sweeps; only the
+        first may wipe a stale file, or each sweep would destroy the
+        previous one's checkpoints.
+        """
+        if not self._fresh:
+            self.reset()
+
+    def reset(self) -> None:
+        """Start a fresh journal (truncates any existing file)."""
+        self.close()
+        self._fresh = True
+        self._seen = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as handle:
+            handle.write(json.dumps({
+                "journal": "repro-run",
+                "version": JOURNAL_FORMAT_VERSION,
+            }) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, key: str, name: str, status: str,
+               payload: Any = None, attempts: int = 1,
+               duration_s: float = 0.0,
+               error: Optional[Dict[str, Any]] = None) -> None:
+        """Record one cell outcome; flushed and fsynced before returning.
+
+        Recording the same key twice is a no-op unless the status
+        changed (a resume re-running a previously failed cell).
+        """
+        previous = self._seen.get(key)
+        if previous is not None and previous.get("status") == status:
+            return
+        entry: Dict[str, Any] = {
+            "key": key,
+            "name": name,
+            "status": status,
+            "attempts": attempts,
+            "duration_s": round(duration_s, 6),
+        }
+        if status in _COMPLETED:
+            entry["payload"] = payload
+        if error is not None:
+            entry["error"] = error
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if not self.path.exists():
+                self.reset()
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._seen[key] = entry
+
+    def flush(self) -> None:
+        """Force buffered appends to disk (appends already fsync)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell across all its attempts."""
+
+    name: str
+    key: str
+    status: str
+    attempts: int = 1
+    retries: int = 0
+    duration_s: float = 0.0
+    fallback: bool = False
+    timeouts: int = 0
+    backoff_s: List[float] = field(default_factory=list)
+    error: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.fallback:
+            out["fallback"] = True
+        if self.timeouts:
+            out["timeouts"] = self.timeouts
+        if self.backoff_s:
+            out["backoff_s"] = [round(b, 6) for b in self.backoff_s]
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class RunManifest:
+    """The auditable record of one (or several chained) runner passes.
+
+    One manifest instance can be threaded through every sweep of a full
+    report so the operator gets a single account of the whole
+    reproduction: which cells ran, which replayed, which were retried,
+    which fell back inline, and which were quarantined — and why.
+    """
+
+    cells: List[CellOutcome] = field(default_factory=list)
+
+    def record(self, outcome: CellOutcome) -> None:
+        self.cells.append(outcome)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def by_status(self, status: str) -> List[CellOutcome]:
+        return [c for c in self.cells if c.status == status]
+
+    def quarantined(self) -> List[CellOutcome]:
+        """Poison cells skipped this run, with their recorded reasons."""
+        return self.by_status(STATUS_QUARANTINED)
+
+    def failed(self) -> List[CellOutcome]:
+        return self.by_status(STATUS_FAILED)
+
+    def retried(self) -> List[CellOutcome]:
+        return [c for c in self.cells if c.retries > 0]
+
+    def fallbacks(self) -> List[CellOutcome]:
+        """Cells that completed in-process after pool retries ran out."""
+        return [c for c in self.cells if c.fallback]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        return counts
+
+    def summary_line(self) -> str:
+        """One human line for CLI output."""
+        counts = self.counts()
+        parts = [f"{len(self.cells)} cells"]
+        for status in (STATUS_OK, STATUS_CACHED, STATUS_RESUMED,
+                       STATUS_FAILED, STATUS_QUARANTINED):
+            if counts.get(status):
+                parts.append(f"{counts[status]} {status}")
+        retried = len(self.retried())
+        if retried:
+            parts.append(f"{retried} retried")
+        fallbacks = len(self.fallbacks())
+        if fallbacks:
+            parts.append(f"{fallbacks} inline-fallback")
+        return ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": JOURNAL_FORMAT_VERSION,
+            "counts": self.counts(),
+            "cells": [c.as_dict() for c in self.cells],
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Atomic JSON dump (temp file in the same directory + replace)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(self.as_dict(), handle, indent=2, sort_keys=False)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        """Load a previously written manifest."""
+        data = json.loads(Path(path).read_text())
+        manifest = cls()
+        for entry in data.get("cells", []):
+            manifest.record(CellOutcome(
+                name=entry.get("name", ""),
+                key=entry.get("key", ""),
+                status=entry.get("status", STATUS_OK),
+                attempts=entry.get("attempts", 1),
+                retries=entry.get("retries", 0),
+                duration_s=entry.get("duration_s", 0.0),
+                fallback=entry.get("fallback", False),
+                timeouts=entry.get("timeouts", 0),
+                backoff_s=entry.get("backoff_s", []),
+                error=entry.get("error"),
+            ))
+        return manifest

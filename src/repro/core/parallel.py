@@ -1,38 +1,77 @@
-"""Process-pool execution engine for campaign and experiment sweeps.
+"""Crash-safe process-pool execution engine for campaign sweeps.
 
 Sec. 5 of the paper calls for "automated and large-scale" measurement
 campaigns; a grid of independent, seeded cells is embarrassingly parallel,
-so every sweep in the package funnels through one runner:
+so every sweep in the package funnels through one runner — and a sweep
+that takes hours must *finish*, not merely start, so the runner is built
+to survive real execution failures:
 
 - a :class:`CellTask` names a module-level function, its keyword
   arguments (seed included), and optional pack/unpack codecs for the
-  on-disk cache;
+  on-disk cache and the checkpoint journal;
 - :class:`TaskRunner` executes a task list serially (``jobs <= 1``) or on
-  a ``ProcessPoolExecutor`` (``jobs > 1``), always returning results in
-  task order;
-- a crashed worker (``BrokenProcessPool``) only costs the tasks that were
-  in flight: the pool is rebuilt and each unfinished task retried up to
-  :attr:`TaskRunner.retries` times, with a final in-process fallback so a
-  hostile environment degrades to the serial path instead of failing;
+  a window of worker processes (``jobs > 1``), always returning results
+  in task order;
+- a per-cell **deadline watchdog** (``timeout``) kills a hung worker
+  instead of blocking the sweep forever;
+- failures are classified by the taxonomy in :mod:`repro.core.errors`:
+  transient ones (worker SIGKILL/OOM, timeouts,
+  :class:`~repro.core.errors.TransientError`) are retried with
+  exponential backoff, deterministic ones fail fast, and
+  :class:`~repro.core.errors.PoisonCell` configurations are quarantined
+  on first failure so one bad cell cannot sink the run;
+- a worker that keeps dying gets one final **in-process fallback** —
+  recorded in the run manifest and warned about, never silent;
 - with a :class:`~repro.core.cache.ResultCache` attached, cells whose key
   (config x seed x calibration x code fingerprint) is already on disk are
-  replayed without recomputation.
+  replayed without recomputation;
+- with a :class:`~repro.core.journal.RunJournal` attached, every
+  completed cell is checkpointed (fsynced JSONL) and ``resume=True``
+  replays finished cells after SIGINT, SIGKILL, or a machine crash —
+  byte-identical to an undisturbed run.
 
 Determinism is the contract that makes all of this safe: every cell
-function is a pure function of its arguments, so serial, parallel and
-cache-replayed sweeps produce identical results — the equivalence test
-suite asserts byte-identical CSV exports across all three paths.
+function is a pure function of its arguments, so serial, parallel,
+cache-replayed and journal-resumed sweeps produce identical results — the
+equivalence and chaos test suites assert byte-identical CSV exports
+across all of these paths.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import multiprocessing
+import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+import traceback
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from multiprocessing import connection as mp_connection
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from repro.core.cache import ResultCache, task_key
+from repro.core.errors import (
+    Category,
+    CellFailure,
+    CellTimeoutError,
+    RemoteErrorInfo,
+    RetryPolicy,
+    WorkerCrashError,
+    classify,
+)
+from repro.core.journal import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    STATUS_RESUMED,
+    CellOutcome,
+    RunJournal,
+    RunManifest,
+)
 
 
 @dataclass(frozen=True)
@@ -46,9 +85,10 @@ class CellTask:
         kwargs: Keyword arguments for ``fn``; must be picklable, and
             canonicalizable for the cache key (see
             :func:`repro.core.cache.canonical`).
-        pack: Result -> JSON-serializable payload (cache write).
-        unpack: Payload -> result (cache replay).  ``pack``/``unpack``
-            must round-trip exactly for cache hits to be equivalent.
+        pack: Result -> JSON-serializable payload (cache/journal write).
+        unpack: Payload -> result (cache/journal replay).
+            ``pack``/``unpack`` must round-trip exactly for replays to be
+            equivalent.
     """
 
     name: str
@@ -76,8 +116,45 @@ class CellTask:
 
 
 def _invoke(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Any:
-    """Worker-side trampoline (module-level, so it pickles)."""
+    """In-process trampoline (kept module-level for picklability)."""
     return fn(**kwargs)
+
+
+def _describe_exception(exc: BaseException) -> RemoteErrorInfo:
+    """Package an exception so it survives the process boundary."""
+    pickled: Optional[bytes] = None
+    try:
+        pickled = pickle.dumps(exc)
+    except Exception:  # noqa: BLE001 - unpicklable exception objects
+        pickled = None
+    return RemoteErrorInfo(
+        error_type=type(exc).__name__,
+        message=str(exc),
+        mro_names=[c.__name__ for c in type(exc).__mro__],
+        traceback=traceback.format_exc(),
+        pickled=pickled,
+    )
+
+
+def _child_main(conn: Any, fn: Callable[..., Any],
+                kwargs: Dict[str, Any]) -> None:
+    """Worker entry point: run one cell, report exactly one outcome."""
+    try:
+        result = fn(**kwargs)
+        outcome: Dict[str, Any] = {"status": "ok", "result": result}
+    except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+        outcome = {"status": "error", "info": _describe_exception(exc)}
+    try:
+        conn.send(outcome)
+    except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
+        if outcome["status"] == "ok":
+            try:
+                conn.send({"status": "error",
+                           "info": _describe_exception(exc)})
+            except Exception:  # noqa: BLE001 - nothing left to report with
+                pass
+    finally:
+        conn.close()
 
 
 @dataclass
@@ -89,14 +166,67 @@ class RunStats:
     cache_hits: int = 0
     retries: int = 0
     elapsed_s: float = 0.0
+    resumed: int = 0
+    timeouts: int = 0
+    fallbacks: int = 0
+    quarantined: int = 0
+    failed: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of tasks replayed from cache."""
         return self.cache_hits / self.tasks if self.tasks else 0.0
 
 
+@dataclass
+class _CellState:
+    """Mutable per-cell bookkeeping across attempts."""
+
+    index: int
+    attempts: int = 0
+    retries_used: int = 0
+    timeouts: int = 0
+    fallback: bool = False
+    backoff_s: List[float] = field(default_factory=list)
+    first_started: Optional[float] = None
+    key: Optional[str] = None
+
+
+@dataclass
+class _Active:
+    """One in-flight worker process."""
+
+    state: _CellState
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
 class TaskRunner:
-    """Executes :class:`CellTask` lists serially or on a process pool."""
+    """Executes :class:`CellTask` lists serially or on worker processes.
+
+    Args:
+        jobs: Worker processes (0/1 mean serial, in-process).
+        cache: Optional content-addressed result cache.
+        retries: Transient-failure retry budget per cell (shorthand for
+            ``policy=RetryPolicy(max_retries=retries)``).
+        progress: Per-cell progress callback.
+        timeout: Per-cell deadline in seconds; a worker running past it
+            is killed by the watchdog and the cell retried as transient.
+            Enforced on the pool path only (``jobs > 1``).
+        policy: Full retry/backoff policy (overrides ``retries``).
+        journal: Checkpoint journal; every completed cell is appended and
+            fsynced so an interrupted run can resume.
+        resume: Replay cells the journal already holds instead of
+            truncating it and starting fresh.
+        manifest: Run manifest to append outcomes to (a fresh one is
+            created when omitted; share one instance across several
+            sweeps to get a single audit record).
+        failfast: When True (default), deterministic failures and
+            exhausted transients raise; when False they are recorded in
+            the manifest and surface as :class:`CellFailure` result
+            slots.  Poison cells are quarantined either way.
+    """
 
     def __init__(
         self,
@@ -104,105 +234,455 @@ class TaskRunner:
         cache: Optional[ResultCache] = None,
         retries: int = 1,
         progress: Optional[Callable[[str], None]] = None,
+        *,
+        timeout: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
+        resume: bool = False,
+        manifest: Optional[RunManifest] = None,
+        failfast: bool = True,
+        sleep: Callable[[float], None] = time.sleep,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0/1 mean serial)")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         self.jobs = jobs
         self.cache = cache
-        self.retries = retries
+        self.policy = policy or RetryPolicy(max_retries=retries)
+        self.retries = self.policy.max_retries
         self.progress = progress
+        self.timeout = timeout
+        self.journal = journal
+        self.resume = resume
+        self.manifest = manifest if manifest is not None else RunManifest()
+        self.failfast = failfast
         self.stats = RunStats()
+        self._sleep = sleep
+        self._monotonic = monotonic
+
+    # ------------------------------------------------------------------
+    # top-level run
+    # ------------------------------------------------------------------
 
     def run(self, tasks: Sequence[CellTask]) -> List[Any]:
-        """Execute every task; results come back in task order."""
-        started = time.monotonic()
+        """Execute every task; results come back in task order.
+
+        Quarantined (and, with ``failfast=False``, failed) cells occupy
+        their result slot with a :class:`CellFailure` marker.
+        """
+        started = self._monotonic()
         self.stats = RunStats(tasks=len(tasks))
         results: List[Any] = [None] * len(tasks)
-        pending: List[int] = []
-        for index, task in enumerate(tasks):
-            payload = self.cache.get(task.cache_key()) if self.cache else None
+        # Keys are only needed (and their kwargs only need to be
+        # canonicalizable) when something content-addressed consumes them.
+        need_keys = self.cache is not None or self.journal is not None
+        states = {
+            i: _CellState(index=i, key=t.cache_key() if need_keys else None)
+            for i, t in enumerate(tasks)
+        }
+        pending: List[int] = list(range(len(tasks)))
+
+        if self.journal is not None:
+            if self.resume:
+                pending = self._replay_journal(tasks, states, results,
+                                               pending)
+            else:
+                self.journal.ensure_fresh()
+
+        pending = self._replay_cache(tasks, states, results, pending)
+
+        if pending:
+            if self.jobs > 1:
+                self._run_pool(tasks, states, pending, results)
+            else:
+                for index in pending:
+                    self._execute_inline(tasks[index], states[index], results)
+        self.stats.elapsed_s = self._monotonic() - started
+        return results
+
+    def _replay_journal(self, tasks: Sequence[CellTask],
+                        states: Dict[int, _CellState], results: List[Any],
+                        pending: List[int]) -> List[int]:
+        """Fill result slots from a prior run's checkpoint journal."""
+        self.journal.load()
+        payloads = self.journal.completed_payloads()
+        remaining: List[int] = []
+        for index in pending:
+            task, state = tasks[index], states[index]
+            if state.key in payloads:
+                payload = payloads[state.key]
+                results[index] = (
+                    task.unpack(payload) if task.unpack else payload
+                )
+                self.stats.resumed += 1
+                self.manifest.record(CellOutcome(
+                    name=task.name, key=state.key, status=STATUS_RESUMED,
+                    attempts=0,
+                ))
+                self._tick(f"{task.name} [resumed]")
+            else:
+                remaining.append(index)
+        return remaining
+
+    def _replay_cache(self, tasks: Sequence[CellTask],
+                      states: Dict[int, _CellState], results: List[Any],
+                      pending: List[int]) -> List[int]:
+        """Fill result slots from the content-addressed result cache."""
+        if self.cache is None:
+            return pending
+        remaining: List[int] = []
+        for index in pending:
+            task, state = tasks[index], states[index]
+            payload = self.cache.get(state.key)
             if payload is not None:
                 results[index] = (
                     task.unpack(payload) if task.unpack else payload
                 )
                 self.stats.cache_hits += 1
+                self._journal_payload(task, state, payload,
+                                      status=STATUS_CACHED)
+                self.manifest.record(CellOutcome(
+                    name=task.name, key=state.key, status=STATUS_CACHED,
+                    attempts=0,
+                ))
                 self._tick(f"{task.name} [cached]")
             else:
-                pending.append(index)
-        if pending:
-            if self.jobs > 1:
-                self._run_pool(tasks, pending, results)
-            else:
-                for index in pending:
-                    results[index] = self._run_inline(tasks[index])
-        self.stats.elapsed_s = time.monotonic() - started
-        return results
+                remaining.append(index)
+        return remaining
 
     # ------------------------------------------------------------------
-    # execution paths
+    # serial path (also the pool's last-resort fallback)
     # ------------------------------------------------------------------
 
-    def _run_inline(self, task: CellTask) -> Any:
-        result = task.execute()
-        self._store(task, result)
-        self.stats.executed += 1
-        self._tick(task.name)
-        return result
+    def _execute_inline(self, task: CellTask, state: _CellState,
+                        results: List[Any]) -> None:
+        """Run one cell in-process, applying the full retry taxonomy.
 
-    def _run_pool(self, tasks: Sequence[CellTask], pending: List[int],
-                  results: List[Any]) -> None:
-        """Dispatch to a process pool, isolating worker crashes.
-
-        A ``BrokenProcessPool`` poisons every in-flight future, so the
-        pool is rebuilt and the unfinished tasks resubmitted; each task
-        carries its own retry budget, and a task that exhausts it falls
-        back to in-process execution (which surfaces the real exception
-        if the task itself — not the worker — is at fault).
+        The watchdog cannot enforce deadlines here (there is no worker to
+        kill), so ``timeout`` only applies on the pool path.
         """
-        budgets: Dict[int, int] = {i: self.retries for i in pending}
-        remaining = list(pending)
-        while remaining:
+        while True:
+            if state.first_started is None:
+                state.first_started = self._monotonic()
+            state.attempts += 1
             try:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    futures = {
-                        pool.submit(_invoke, tasks[i].fn, dict(tasks[i].kwargs)): i
-                        for i in remaining
-                    }
-                    not_done = set(futures)
-                    while not_done:
-                        done, not_done = wait(
-                            not_done, return_when=FIRST_COMPLETED
-                        )
-                        for future in done:
-                            index = futures[future]
-                            task = tasks[index]
-                            results[index] = future.result()
-                            self._store(task, results[index])
-                            self.stats.executed += 1
-                            remaining.remove(index)
-                            self._tick(task.name)
+                result = task.execute()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                category = classify(exc)
+                if (category is Category.TRANSIENT
+                        and state.retries_used < self.policy.max_retries):
+                    delay = self._note_retry(task, state)
+                    self._sleep(delay)
+                    continue
+                self._dispose_failure(task, state, category, exc, results)
                 return
-            except BrokenProcessPool:
-                retryable = []
-                for index in remaining:
-                    if budgets[index] > 0:
-                        budgets[index] -= 1
-                        self.stats.retries += 1
-                        retryable.append(index)
-                    else:
-                        results[index] = self._run_inline(tasks[index])
-                remaining = retryable
+            else:
+                self._complete(task, state, result, results)
+                return
 
     # ------------------------------------------------------------------
-    # bookkeeping
+    # pool path: sliding window of watched worker processes
     # ------------------------------------------------------------------
 
-    def _store(self, task: CellTask, result: Any) -> None:
-        if self.cache is not None:
+    def _run_pool(self, tasks: Sequence[CellTask],
+                  states: Dict[int, _CellState], pending: List[int],
+                  results: List[Any]) -> None:
+        """Dispatch to a window of worker processes with a watchdog.
+
+        Each cell runs in its own process (at most ``jobs`` in flight),
+        so the watchdog can kill exactly the hung worker; a worker that
+        dies without an answer (SIGKILL, OOM, segfault) retries on its
+        own budget, and a cell whose workers keep dying gets one final
+        in-process fallback — recorded and warned, never silent.
+        """
+        ctx = multiprocessing.get_context()
+        queue: deque = deque(pending)
+        delayed: List[Tuple[float, int, int]] = []  # (ready_at, seq, index)
+        seq = itertools.count()
+        active: Dict[Any, _Active] = {}
+        fallbacks: List[int] = []
+
+        def requeue(index: int, ready_at: float) -> None:
+            heapq.heappush(delayed, (ready_at, next(seq), index))
+
+        try:
+            while queue or delayed or active:
+                now = self._monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, index = heapq.heappop(delayed)
+                    queue.append(index)
+                while queue and len(active) < self.jobs:
+                    index = queue.popleft()
+                    self._spawn(ctx, tasks[index], states[index], active)
+                tick = self._next_tick(active, delayed)
+                conns = [entry.conn for entry in active.values()]
+                if conns:
+                    ready = mp_connection.wait(conns, timeout=tick)
+                else:
+                    if tick:
+                        self._sleep(tick)
+                    ready = ()
+                for conn in ready:
+                    entry = active.pop(conn)
+                    self._reap(tasks, entry, results, requeue, fallbacks)
+                self._enforce_deadlines(tasks, active, results, requeue,
+                                        fallbacks)
+        except BaseException:
+            self._drain_and_kill(tasks, active, results)
+            raise
+        for index in fallbacks:
+            self._execute_inline(tasks[index], states[index], results)
+
+    def _spawn(self, ctx: Any, task: CellTask, state: _CellState,
+               active: Dict[Any, _Active]) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main,
+            args=(child_conn, task.fn, dict(task.kwargs)),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        started = self._monotonic()
+        if state.first_started is None:
+            state.first_started = started
+        deadline = started + self.timeout if self.timeout else None
+        active[parent_conn] = _Active(state, process, parent_conn, started,
+                                      deadline)
+
+    def _reap(self, tasks: Sequence[CellTask], entry: _Active,
+              results: List[Any],
+              requeue: Callable[[int, float], None],
+              fallbacks: List[int]) -> None:
+        """Collect one worker's outcome (message, or death without one)."""
+        state = entry.state
+        task = tasks[state.index]
+        state.attempts += 1
+        try:
+            message = entry.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        entry.conn.close()
+        entry.process.join()
+        if message is None:
+            exc = WorkerCrashError(task.name, entry.process.exitcode)
+            self._after_pool_failure(task, state, Category.TRANSIENT, exc,
+                                     results, requeue, fallbacks,
+                                     crash=True)
+        elif message.get("status") == "ok":
+            self._complete(task, state, message["result"], results)
+        else:
+            info: RemoteErrorInfo = message["info"]
+            self._after_pool_failure(task, state, info.category(),
+                                     info.rebuild(), results, requeue,
+                                     fallbacks, crash=False)
+
+    def _enforce_deadlines(self, tasks: Sequence[CellTask],
+                           active: Dict[Any, _Active], results: List[Any],
+                           requeue: Callable[[int, float], None],
+                           fallbacks: List[int]) -> None:
+        """Kill workers past their deadline; retry their cells."""
+        if self.timeout is None:
+            return
+        now = self._monotonic()
+        for conn, entry in list(active.items()):
+            if entry.deadline is None or now < entry.deadline:
+                continue
+            if entry.conn.poll():
+                # Finished just under the wire: harvest, don't kill.
+                del active[conn]
+                self._reap(tasks, entry, results, requeue, fallbacks)
+                continue
+            del active[conn]
+            entry.process.kill()
+            entry.process.join()
+            entry.conn.close()
+            state = entry.state
+            state.attempts += 1
+            state.timeouts += 1
+            self.stats.timeouts += 1
+            task = tasks[state.index]
+            exc = CellTimeoutError(task.name, self.timeout, state.attempts)
+            self._after_pool_failure(task, state, Category.TRANSIENT, exc,
+                                     results, requeue, fallbacks,
+                                     crash=False)
+
+    def _after_pool_failure(self, task: CellTask, state: _CellState,
+                            category: Category, exc: BaseException,
+                            results: List[Any],
+                            requeue: Callable[[int, float], None],
+                            fallbacks: List[int], crash: bool) -> None:
+        """Route a pool-side failure through the taxonomy."""
+        if (category is Category.TRANSIENT
+                and state.retries_used < self.policy.max_retries):
+            delay = self._note_retry(task, state)
+            requeue(state.index, self._monotonic() + delay)
+            return
+        if crash:
+            # Workers keep dying under this cell: degrade to in-process
+            # execution so the real exception (if the cell, not the
+            # environment, is at fault) can surface.  Loud, not silent.
+            warnings.warn(
+                f"cell {task.name!r}: worker died "
+                f"{state.attempts} time(s); falling back to in-process "
+                f"execution (recorded in the run manifest)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            state.fallback = True
+            self.stats.fallbacks += 1
+            fallbacks.append(state.index)
+            return
+        self._dispose_failure(task, state, category, exc, results)
+
+    def _next_tick(self, active: Dict[Any, _Active],
+                   delayed: List[Tuple[float, int, int]]) -> Optional[float]:
+        """How long the event loop may block before something is due."""
+        now = self._monotonic()
+        candidates: List[float] = []
+        for entry in active.values():
+            if entry.deadline is not None:
+                candidates.append(entry.deadline - now)
+        if delayed:
+            candidates.append(delayed[0][0] - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates)) + 0.005
+
+    def _drain_and_kill(self, tasks: Sequence[CellTask],
+                        active: Dict[Any, _Active],
+                        results: List[Any]) -> None:
+        """On interrupt: harvest finished workers, kill the rest.
+
+        Completed cells that already sent their result are journaled
+        (they are done work — losing them would betray ``--resume``);
+        everything still running is killed so the process exits promptly.
+        """
+        for conn, entry in list(active.items()):
+            try:
+                if entry.conn.poll():
+                    message = entry.conn.recv()
+                    if (isinstance(message, dict)
+                            and message.get("status") == "ok"):
+                        entry.state.attempts += 1
+                        self._complete(tasks[entry.state.index], entry.state,
+                                       message["result"], results)
+            except Exception:  # noqa: BLE001 - best-effort during shutdown
+                pass
+            finally:
+                if entry.process.is_alive():
+                    entry.process.kill()
+                entry.process.join()
+                entry.conn.close()
+                del active[conn]
+        if self.journal is not None:
+            self.journal.flush()
+
+    # ------------------------------------------------------------------
+    # outcome bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_retry(self, task: CellTask, state: _CellState) -> float:
+        state.retries_used += 1
+        self.stats.retries += 1
+        delay = self.policy.delay_for(state.retries_used)
+        state.backoff_s.append(delay)
+        self._tick(f"{task.name} [retry {state.retries_used} "
+                   f"in {delay:.2f}s]")
+        return delay
+
+    def _complete(self, task: CellTask, state: _CellState, result: Any,
+                  results: List[Any]) -> None:
+        results[state.index] = result
+        if self.cache is not None or self.journal is not None:
             payload = task.pack(result) if task.pack else result
-            self.cache.put(task.cache_key(), payload)
+            if self.cache is not None:
+                self.cache.put(state.key or task.cache_key(), payload)
+            self._journal_payload(task, state, payload, status=STATUS_OK)
+        self.stats.executed += 1
+        self.manifest.record(self._outcome(task, state, STATUS_OK))
+        self._tick(task.name + (" [fallback]" if state.fallback else ""))
+
+    def _dispose_failure(self, task: CellTask, state: _CellState,
+                         category: Category, exc: BaseException,
+                         results: List[Any]) -> None:
+        """Terminal failure: quarantine, record, or raise."""
+        error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "category": category.value,
+        }
+        if category is Category.POISON:
+            status = STATUS_QUARANTINED
+            self.stats.quarantined += 1
+        else:
+            status = STATUS_FAILED
+            self.stats.failed += 1
+        self.manifest.record(self._outcome(task, state, status, error=error))
+        if self.journal is not None:
+            self.journal.append(
+                key=state.key or task.cache_key(), name=task.name,
+                status=status, attempts=state.attempts,
+                duration_s=self._elapsed(state), error=error,
+            )
+        if category is Category.POISON:
+            # Quarantine never sinks the sweep, even in failfast mode.
+            results[state.index] = CellFailure(
+                name=task.name, key=state.key or "", category=category.value,
+                error_type=type(exc).__name__, message=str(exc),
+                attempts=state.attempts,
+            )
+            self._tick(f"{task.name} [quarantined]")
+            return
+        if self.failfast:
+            raise exc
+        results[state.index] = CellFailure(
+            name=task.name, key=state.key or "", category=category.value,
+            error_type=type(exc).__name__, message=str(exc),
+            attempts=state.attempts,
+        )
+        self._tick(f"{task.name} [failed]")
+
+    def _outcome(self, task: CellTask, state: _CellState, status: str,
+                 error: Optional[Dict[str, Any]] = None) -> CellOutcome:
+        return CellOutcome(
+            name=task.name, key=state.key or "", status=status,
+            attempts=state.attempts, retries=state.retries_used,
+            duration_s=self._elapsed(state), fallback=state.fallback,
+            timeouts=state.timeouts, backoff_s=list(state.backoff_s),
+            error=error,
+        )
+
+    def _elapsed(self, state: _CellState) -> float:
+        if state.first_started is None:
+            return 0.0
+        return self._monotonic() - state.first_started
+
+    def _journal_payload(self, task: CellTask, state: _CellState,
+                         payload: Any, status: str) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(
+                key=state.key or task.cache_key(), name=task.name,
+                status=status, payload=payload, attempts=state.attempts,
+                duration_s=self._elapsed(state),
+            )
+        except TypeError:
+            # A task without a pack codec returned something JSON cannot
+            # hold; the run still works, it just cannot resume this cell.
+            warnings.warn(
+                f"cell {task.name!r}: result is not JSON-serializable; "
+                f"not journaled (add pack/unpack codecs to enable resume)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _tick(self, label: str) -> None:
         if self.progress is not None:
@@ -215,7 +695,17 @@ def run_tasks(
     cache: Optional[ResultCache] = None,
     retries: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    *,
+    timeout: Optional[float] = None,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
+    manifest: Optional[RunManifest] = None,
+    failfast: bool = True,
 ) -> List[Any]:
     """One-shot convenience wrapper around :class:`TaskRunner`."""
-    return TaskRunner(jobs=jobs, cache=cache, retries=retries,
-                      progress=progress).run(tasks)
+    return TaskRunner(
+        jobs=jobs, cache=cache, retries=retries, progress=progress,
+        timeout=timeout, policy=policy, journal=journal, resume=resume,
+        manifest=manifest, failfast=failfast,
+    ).run(tasks)

@@ -23,6 +23,7 @@ from repro import calibration
 from repro.analysis.stats import SummaryStats, summarize_samples
 from repro.analysis.throughput import throughput_windows_mbps
 from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal, RunManifest
 from repro.core.parallel import CellTask, run_tasks
 from repro.core.testbed import default_two_user_testbed
 from repro.devices.models import Device, MacBook, VisionPro
@@ -105,12 +106,17 @@ def unpack_stats(payload: Dict[str, float]) -> SummaryStats:
 
 def run(duration_s: float = 30.0, repeats: int = calibration.MIN_REPEATS,
         seed: int = 0, jobs: int = 1,
-        cache: Optional[ResultCache] = None) -> Fig4Result:
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None, retries: int = 1,
+        journal: Optional[RunJournal] = None, resume: bool = False,
+        manifest: Optional[RunManifest] = None) -> Fig4Result:
     """Measure every Fig. 4 configuration.
 
     Each configuration is an independent seeded cell, so the sweep shards
     over ``jobs`` worker processes and replays from ``cache`` with results
-    identical to the serial path.
+    identical to the serial path.  The crash-safety knobs (``timeout``
+    watchdog, transient ``retries``, checkpoint ``journal``/``resume``,
+    shared run ``manifest``) pass straight through to the runner.
     """
     tasks = [
         CellTask(
@@ -123,5 +129,7 @@ def run(duration_s: float = 30.0, repeats: int = calibration.MIN_REPEATS,
         )
         for label in CONFIGURATIONS
     ]
-    summaries = run_tasks(tasks, jobs=jobs, cache=cache)
+    summaries = run_tasks(tasks, jobs=jobs, cache=cache, retries=retries,
+                          timeout=timeout, journal=journal, resume=resume,
+                          manifest=manifest)
     return Fig4Result(dict(zip(CONFIGURATIONS, summaries)))

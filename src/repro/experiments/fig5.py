@@ -24,6 +24,7 @@ import numpy as np
 from repro import calibration
 from repro.analysis.stats import SummaryStats, summarize_samples
 from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal, RunManifest
 from repro.core.parallel import CellTask, run_tasks
 from repro.rendering.camera import Camera
 from repro.rendering.lod import LodPolicy, PersonaView, VisibilityState
@@ -121,11 +122,16 @@ def _unpack_scenario(payload: Dict[str, object]) -> Tuple[int, SummaryStats]:
 
 
 def run(frames_per_scenario: int = 300, seed: int = 0, jobs: int = 1,
-        cache: Optional[ResultCache] = None) -> Fig5Result:
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None, retries: int = 1,
+        journal: Optional[RunJournal] = None, resume: bool = False,
+        manifest: Optional[RunManifest] = None) -> Fig5Result:
     """Render each controlled scenario and summarize the counters.
 
     The four scenarios are independent seeded cells for the shared sweep
-    runner (``jobs``/``cache``).
+    runner (``jobs``/``cache``, plus the crash-safety knobs: ``timeout``
+    watchdog, transient ``retries``, ``journal``/``resume``,
+    ``manifest``).
     """
     tasks = [
         CellTask(
@@ -140,8 +146,9 @@ def run(frames_per_scenario: int = 300, seed: int = 0, jobs: int = 1,
     ]
     triangles: Dict[str, int] = {}
     gpu: Dict[str, SummaryStats] = {}
-    for name, (tri, stats) in zip(SCENARIOS,
-                                  run_tasks(tasks, jobs=jobs, cache=cache)):
+    for name, (tri, stats) in zip(SCENARIOS, run_tasks(
+            tasks, jobs=jobs, cache=cache, retries=retries, timeout=timeout,
+            journal=journal, resume=resume, manifest=manifest)):
         triangles[name] = tri
         gpu[name] = stats
     return Fig5Result(triangles, gpu)

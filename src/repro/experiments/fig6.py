@@ -21,6 +21,7 @@ from repro import calibration
 from repro.analysis.stats import SummaryStats, summarize_samples
 from repro.analysis.throughput import throughput_windows_mbps
 from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal, RunManifest
 from repro.core.parallel import CellTask, run_tasks
 from repro.core.testbed import multi_user_testbed
 from repro.netsim.capture import Direction
@@ -101,11 +102,16 @@ def _unpack_rendering(
 def run_rendering(duration_s: float = 60.0,
                   repeats: int = calibration.MIN_REPEATS,
                   seed: int = 0, jobs: int = 1,
-                  cache: Optional[ResultCache] = None) -> RenderScalability:
+                  cache: Optional[ResultCache] = None,
+                  timeout: Optional[float] = None, retries: int = 1,
+                  journal: Optional[RunJournal] = None, resume: bool = False,
+                  manifest: Optional[RunManifest] = None) -> RenderScalability:
     """Render sessions for every user count and summarize the counters.
 
     User counts are independent seeded cells for the shared sweep runner
-    (``jobs``/``cache``).
+    (``jobs``/``cache``, plus the crash-safety knobs: ``timeout``
+    watchdog, transient ``retries``, ``journal``/``resume``,
+    ``manifest``).
     """
     tasks = [
         CellTask(
@@ -121,8 +127,9 @@ def run_rendering(duration_s: float = 60.0,
     triangles: Dict[int, SummaryStats] = {}
     gpu: Dict[int, SummaryStats] = {}
     cpu: Dict[int, SummaryStats] = {}
-    for n, (tri, g, c) in zip(USER_COUNTS,
-                              run_tasks(tasks, jobs=jobs, cache=cache)):
+    for n, (tri, g, c) in zip(USER_COUNTS, run_tasks(
+            tasks, jobs=jobs, cache=cache, retries=retries, timeout=timeout,
+            journal=journal, resume=resume, manifest=manifest)):
         triangles[n], gpu[n], cpu[n] = tri, g, c
     return RenderScalability(triangles, gpu, cpu)
 
@@ -178,7 +185,10 @@ def _unpack_network(payload: Dict[str, float]) -> SummaryStats:
 def run_network(duration_s: float = 20.0,
                 repeats: int = calibration.MIN_REPEATS,
                 seed: int = 0, jobs: int = 1,
-                cache: Optional[ResultCache] = None) -> NetworkScalability:
+                cache: Optional[ResultCache] = None,
+                timeout: Optional[float] = None, retries: int = 1,
+                journal: Optional[RunJournal] = None, resume: bool = False,
+                manifest: Optional[RunManifest] = None) -> NetworkScalability:
     """All-Vision-Pro FaceTime sessions, 2-5 users, downlink at U1's AP."""
     tasks = [
         CellTask(
@@ -192,5 +202,7 @@ def run_network(duration_s: float = 20.0,
         for n in USER_COUNTS
     ]
     return NetworkScalability(dict(zip(
-        USER_COUNTS, run_tasks(tasks, jobs=jobs, cache=cache)
+        USER_COUNTS, run_tasks(
+            tasks, jobs=jobs, cache=cache, retries=retries, timeout=timeout,
+            journal=journal, resume=resume, manifest=manifest)
     )))

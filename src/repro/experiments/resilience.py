@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal, RunManifest
 from repro.core.parallel import CellTask, run_tasks
 from repro.core.testbed import default_two_user_testbed
 from repro.faults.ladder import LadderLevel
@@ -180,13 +181,20 @@ def run(
     config: Optional[ResilienceConfig] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
+    manifest: Optional[RunManifest] = None,
 ) -> ResilienceStudyResult:
     """The full study: every profile, same seed, same gauntlet.
 
     Profiles are independent cells, so the gauntlet shards over ``jobs``
     worker processes and replays from ``cache`` — the study is identical
     either way because :func:`run_profile` is a pure function of its
-    arguments.
+    arguments.  The crash-safety knobs (``timeout`` watchdog, transient
+    ``retries``, checkpoint ``journal``/``resume``, shared ``manifest``)
+    pass straight through to the runner.
     """
     tasks = [
         CellTask(
@@ -201,8 +209,9 @@ def run(
     ]
     rows: List[ResilienceRow] = []
     details: Dict[str, SessionResilience] = {}
-    for name, (row, detail) in zip(profiles,
-                                   run_tasks(tasks, jobs=jobs, cache=cache)):
+    for name, (row, detail) in zip(profiles, run_tasks(
+            tasks, jobs=jobs, cache=cache, retries=retries, timeout=timeout,
+            journal=journal, resume=resume, manifest=manifest)):
         rows.append(row)
         details[name] = detail
     return ResilienceStudyResult(

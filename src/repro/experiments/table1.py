@@ -15,6 +15,7 @@ from repro import calibration
 from repro.analysis.latency import measure_server_rtts
 from repro.analysis.stats import SummaryStats
 from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal, RunManifest
 from repro.core.parallel import CellTask, run_tasks
 from repro.geo.regions import Region, test_clients
 from repro.geo.servers import ALL_FLEETS, Server
@@ -97,13 +98,18 @@ def _unpack_row(payload: Dict[str, Dict[str, float]]) -> Dict[str, SummaryStats]
 
 
 def run(repeats: int = calibration.MIN_REPEATS, seed: int = 0,
-        jobs: int = 1, cache: Optional[ResultCache] = None) -> Table1Result:
+        jobs: int = 1, cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None, retries: int = 1,
+        journal: Optional[RunJournal] = None, resume: bool = False,
+        manifest: Optional[RunManifest] = None) -> Table1Result:
     """Measure the full matrix.
 
     Each cell is the mean of ``repeats`` TCP pings through a fresh
     simulated path (Sec. 3.2 repeats every experiment at least 5 times).
     The three regional rows are independent cells for the shared sweep
-    runner (``jobs``/``cache``).
+    runner (``jobs``/``cache``, plus the crash-safety knobs: ``timeout``
+    watchdog, transient ``retries``, ``journal``/``resume``,
+    ``manifest``).
     """
     regions = [region.value for region in test_clients()]
     tasks = [
@@ -118,8 +124,9 @@ def run(repeats: int = calibration.MIN_REPEATS, seed: int = 0,
         for region_value in regions
     ]
     cells: Dict[Tuple[str, str], SummaryStats] = {}
-    for region_value, measured in zip(regions, run_tasks(tasks, jobs=jobs,
-                                                         cache=cache)):
+    for region_value, measured in zip(regions, run_tasks(
+            tasks, jobs=jobs, cache=cache, retries=retries, timeout=timeout,
+            journal=journal, resume=resume, manifest=manifest)):
         for key, stats in measured.items():
             cells[(region_value, key)] = stats
     return Table1Result(cells)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro import calibration
 from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal, RunManifest
 from repro.experiments import (
     ablations,
     content_delivery,
@@ -28,11 +29,16 @@ from repro.experiments import (
 
 @dataclass(frozen=True)
 class ReportSettings:
-    """Knobs trading fidelity for runtime.
+    """Knobs trading fidelity for runtime — and surviving it.
 
     ``jobs``/``cache`` pass through to every sweep-capable experiment
     driver, so the full reproduction shards over worker processes and
-    replays unchanged cells from the on-disk result cache.
+    replays unchanged cells from the on-disk result cache.  The
+    crash-safety knobs pass through too: ``cell_timeout`` arms the
+    per-cell watchdog, ``max_retries`` bounds transient retries,
+    ``journal``/``resume`` checkpoint every finished cell so an
+    interrupted report picks up where it stopped, and one shared
+    ``manifest`` collects the per-cell audit record across all sweeps.
     """
 
     duration_s: float = 30.0
@@ -40,11 +46,28 @@ class ReportSettings:
     seed: int = 0
     jobs: int = 1
     cache: Optional[ResultCache] = None
+    cell_timeout: Optional[float] = None
+    max_retries: int = 1
+    journal: Optional[RunJournal] = None
+    resume: bool = False
+    manifest: Optional[RunManifest] = None
 
     @classmethod
     def quick(cls) -> "ReportSettings":
         """Short smoke-run settings."""
         return cls(duration_s=8.0, repeats=2)
+
+    def sweep_kwargs(self) -> dict:
+        """The runner passthrough shared by every sweep-capable driver."""
+        return {
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "timeout": self.cell_timeout,
+            "retries": self.max_retries,
+            "journal": self.journal,
+            "resume": self.resume,
+            "manifest": self.manifest,
+        }
 
 
 def _section(title: str, body: List[str]) -> str:
@@ -54,7 +77,7 @@ def _section(title: str, body: List[str]) -> str:
 def table1_section(settings: ReportSettings) -> str:
     """Table 1 markdown section."""
     result = table1.run(repeats=settings.repeats, seed=settings.seed,
-                        jobs=settings.jobs, cache=settings.cache)
+                        **settings.sweep_kwargs())
     errors = [abs(m - p) for _, _, m, p in result.paper_comparison()]
     header = "| Users | " + " | ".join(
         f"{vca[:2]}-{label}" for vca, label in calibration.TABLE1_COLUMNS
@@ -95,7 +118,7 @@ def fig4_section(settings: ReportSettings) -> str:
     """Fig. 4 markdown section."""
     result = fig4.run(duration_s=settings.duration_s,
                       repeats=settings.repeats, seed=settings.seed,
-                      jobs=settings.jobs, cache=settings.cache)
+                      **settings.sweep_kwargs())
     rows = ["| cfg | measured mean | paper |", "|---|---|---|"]
     for label in fig4.CONFIGURATIONS:
         rows.append(
@@ -137,8 +160,7 @@ def rate_section(settings: ReportSettings) -> str:
 
 def fig5_section(settings: ReportSettings) -> str:
     """Fig. 5 markdown section."""
-    result = fig5.run(seed=settings.seed, jobs=settings.jobs,
-                      cache=settings.cache)
+    result = fig5.run(seed=settings.seed, **settings.sweep_kwargs())
     rows = ["| scenario | triangles | GPU ms | paper |", "|---|---|---|---|"]
     for name, (tri, gpu) in fig5.PAPER_ANCHORS.items():
         s = result.gpu_ms[name]
@@ -159,11 +181,11 @@ def fig6_section(settings: ReportSettings) -> str:
     """Fig. 6 markdown section."""
     rendering = fig6.run_rendering(duration_s=settings.duration_s,
                                    repeats=settings.repeats,
-                                   seed=settings.seed, jobs=settings.jobs,
-                                   cache=settings.cache)
+                                   seed=settings.seed,
+                                   **settings.sweep_kwargs())
     network = fig6.run_network(duration_s=settings.duration_s / 2,
                                repeats=settings.repeats, seed=settings.seed,
-                               jobs=settings.jobs, cache=settings.cache)
+                               **settings.sweep_kwargs())
     rows = ["```", rendering.format_table(), "", network.format_table(), "```",
             ""]
     rows.append(
@@ -202,6 +224,28 @@ def ablations_section(settings: ReportSettings) -> str:
     return _section("Ablations", rows)
 
 
+def manifest_section(settings: ReportSettings) -> str:
+    """Execution audit: what the sweeps did to produce this report."""
+    manifest = settings.manifest
+    assert manifest is not None
+    rows = [f"- {manifest.summary_line()}"]
+    for cell in manifest.retried():
+        rows.append(
+            f"- retried: `{cell.name}` x{cell.retries} "
+            f"(backoff {', '.join(f'{b:.2f}s' for b in cell.backoff_s)})"
+        )
+    for cell in manifest.fallbacks():
+        rows.append(f"- inline fallback: `{cell.name}` after "
+                    f"{cell.attempts} worker attempt(s)")
+    for cell in manifest.quarantined():
+        reason = (cell.error or {}).get("message", "unknown")
+        rows.append(f"- quarantined: `{cell.name}` — {reason}")
+    for cell in manifest.failed():
+        reason = (cell.error or {}).get("message", "unknown")
+        rows.append(f"- failed: `{cell.name}` — {reason}")
+    return _section("Run manifest — how the sweeps executed", rows)
+
+
 def generate_report(settings: ReportSettings = ReportSettings()) -> str:
     """The full markdown report."""
     sections = [
@@ -216,4 +260,6 @@ def generate_report(settings: ReportSettings = ReportSettings()) -> str:
         fig6_section(settings),
         ablations_section(settings),
     ]
+    if settings.manifest is not None:
+        sections.append(manifest_section(settings))
     return "\n".join(sections)

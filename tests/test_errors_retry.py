@@ -1,0 +1,255 @@
+"""Error-taxonomy and retry/backoff policy coverage.
+
+The contract under test (ISSUE 4): transient errors are retried with
+exponentially growing delays, deterministic errors fail fast without a
+single retry, and poison cells are quarantined exactly once — never
+retried, never fatal, always listed in the run manifest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import (
+    Category,
+    CellFailure,
+    CellTimeoutError,
+    DeterministicError,
+    PoisonCell,
+    RetryPolicy,
+    TransientError,
+    WorkerCrashError,
+    classify,
+    classify_names,
+)
+from repro.core.journal import RunManifest
+from repro.core.parallel import CellTask, TaskRunner
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+class TestClassify:
+    def test_explicit_taxonomy_classes(self):
+        assert classify(TransientError("x")) is Category.TRANSIENT
+        assert classify(DeterministicError("x")) is Category.DETERMINISTIC
+        assert classify(PoisonCell("x")) is Category.POISON
+
+    def test_watchdog_and_crash_errors_are_transient(self):
+        assert classify(CellTimeoutError("c", 1.0, 1)) is Category.TRANSIENT
+        assert classify(WorkerCrashError("c", -9)) is Category.TRANSIENT
+
+    def test_stdlib_flakiness_is_transient(self):
+        assert classify(ConnectionError("reset")) is Category.TRANSIENT
+        assert classify(TimeoutError("slow")) is Category.TRANSIENT
+
+    def test_arbitrary_exception_is_deterministic(self):
+        assert classify(ValueError("bug")) is Category.DETERMINISTIC
+        assert classify(KeyError("bug")) is Category.DETERMINISTIC
+
+    def test_classification_survives_process_boundary_by_name(self):
+        """Cross-process errors classify from MRO names alone."""
+        assert classify_names(["MyError", "TransientError",
+                               "CellError"]) is Category.TRANSIENT
+        assert classify_names(["PoisonCell", "CellError",
+                               "Exception"]) is Category.POISON
+        assert classify_names(["ValueError",
+                               "Exception"]) is Category.DETERMINISTIC
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(max_retries=5, backoff_base_s=1.0,
+                             backoff_factor=2.0, backoff_max_s=5.0)
+        assert [policy.delay_for(r) for r in (1, 2, 3, 4, 5)] == [
+            1.0, 2.0, 4.0, 5.0, 5.0
+        ]
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+# ---------------------------------------------------------------------------
+# runner behaviour (serial path: deterministic, monkeypatchable clock)
+# ---------------------------------------------------------------------------
+
+def _flaky(counter: str, fail_times: int, value: int) -> int:
+    """Raises TransientError for the first ``fail_times`` calls."""
+    path = Path(counter)
+    calls = int(path.read_text()) if path.exists() else 0
+    path.write_text(str(calls + 1))
+    if calls < fail_times:
+        raise TransientError(f"flaky call {calls}")
+    return value * 2
+
+
+def _bug(value: int) -> int:
+    raise ValueError(f"cell {value} has a deterministic bug")
+
+
+def _poison(value: int) -> int:
+    raise PoisonCell(f"configuration {value} is unrunnable")
+
+
+def _ok(value: int) -> int:
+    return value * 2
+
+
+class TestTransientRetries:
+    def test_retried_with_growing_backoff(self, tmp_path):
+        """Monkeypatched clock: delays follow the exponential policy."""
+        slept: list = []
+        runner = TaskRunner(
+            jobs=1,
+            policy=RetryPolicy(max_retries=3, backoff_base_s=0.5,
+                               backoff_factor=2.0, backoff_max_s=60.0),
+            sleep=slept.append,
+        )
+        task = CellTask(name="flaky", fn=_flaky,
+                        kwargs={"counter": str(tmp_path / "n"),
+                                "fail_times": 2, "value": 21})
+        assert runner.run([task]) == [42]
+        assert slept == [0.5, 1.0]
+        assert runner.stats.retries == 2
+        outcome = runner.manifest.cells[-1]
+        assert outcome.status == "ok"
+        assert outcome.attempts == 3
+        assert outcome.retries == 2
+        assert outcome.backoff_s == [0.5, 1.0]
+
+    def test_exhausted_budget_raises_in_failfast(self, tmp_path):
+        runner = TaskRunner(jobs=1,
+                            policy=RetryPolicy(max_retries=1,
+                                               backoff_base_s=0.0),
+                            sleep=lambda s: None)
+        task = CellTask(name="flaky", fn=_flaky,
+                        kwargs={"counter": str(tmp_path / "n"),
+                                "fail_times": 5, "value": 1})
+        with pytest.raises(TransientError):
+            runner.run([task])
+        assert runner.stats.retries == 1
+        assert runner.stats.failed == 1
+        assert runner.manifest.failed()[0].error["category"] == "transient"
+
+    def test_exhausted_budget_records_in_continue_mode(self, tmp_path):
+        runner = TaskRunner(jobs=1, failfast=False,
+                            policy=RetryPolicy(max_retries=1,
+                                               backoff_base_s=0.0),
+                            sleep=lambda s: None)
+        tasks = [
+            CellTask(name="flaky", fn=_flaky,
+                     kwargs={"counter": str(tmp_path / "n"),
+                             "fail_times": 5, "value": 1}),
+            CellTask(name="fine", fn=_ok, kwargs={"value": 3}),
+        ]
+        results = runner.run(tasks)
+        assert isinstance(results[0], CellFailure)
+        assert results[0].category == "transient"
+        assert results[1] == 6
+
+
+class TestDeterministicFailFast:
+    def test_never_retried(self):
+        slept: list = []
+        runner = TaskRunner(jobs=1,
+                            policy=RetryPolicy(max_retries=5),
+                            sleep=slept.append)
+        with pytest.raises(ValueError, match="deterministic bug"):
+            runner.run([CellTask(name="bug", fn=_bug, kwargs={"value": 7})])
+        assert slept == []  # not a single backoff sleep
+        assert runner.stats.retries == 0
+        assert runner.manifest.failed()[0].attempts == 1
+
+    def test_recorded_not_raised_in_continue_mode(self):
+        runner = TaskRunner(jobs=1, failfast=False)
+        results = runner.run([
+            CellTask(name="bug", fn=_bug, kwargs={"value": 7}),
+            CellTask(name="fine", fn=_ok, kwargs={"value": 7}),
+        ])
+        assert isinstance(results[0], CellFailure)
+        assert results[0].error_type == "ValueError"
+        assert results[1] == 14
+
+
+class TestPoisonQuarantine:
+    def test_quarantined_exactly_once_and_listed(self):
+        """One poison cell: one attempt, no retries, sweep continues."""
+        slept: list = []
+        runner = TaskRunner(jobs=1,
+                            policy=RetryPolicy(max_retries=5),
+                            sleep=slept.append)
+        manifest: RunManifest = runner.manifest
+        results = runner.run([
+            CellTask(name="good-1", fn=_ok, kwargs={"value": 1}),
+            CellTask(name="poison", fn=_poison, kwargs={"value": 2}),
+            CellTask(name="good-2", fn=_ok, kwargs={"value": 3}),
+        ])
+        assert results[0] == 2 and results[2] == 6
+        assert isinstance(results[1], CellFailure)
+        assert results[1].category == "poison"
+        assert results[1].attempts == 1
+        assert slept == []
+        assert runner.stats.quarantined == 1
+        quarantined = manifest.quarantined()
+        assert [c.name for c in quarantined] == ["poison"]
+        assert "unrunnable" in quarantined[0].error["message"]
+
+    def test_quarantine_does_not_sink_failfast_runs(self):
+        """Even failfast mode survives poison — that is the point."""
+        runner = TaskRunner(jobs=1, failfast=True)
+        results = runner.run([
+            CellTask(name="poison", fn=_poison, kwargs={"value": 1}),
+            CellTask(name="fine", fn=_ok, kwargs={"value": 5}),
+        ])
+        assert isinstance(results[0], CellFailure)
+        assert results[1] == 10
+
+    def test_poison_quarantined_across_process_boundary(self):
+        """PoisonCell raised inside a worker still quarantines."""
+        runner = TaskRunner(jobs=2)
+        results = runner.run([
+            CellTask(name="poison", fn=_poison, kwargs={"value": 1}),
+            CellTask(name="fine", fn=_ok, kwargs={"value": 5}),
+        ])
+        assert isinstance(results[0], CellFailure)
+        assert results[0].category == "poison"
+        assert results[1] == 10
+        assert runner.stats.quarantined == 1
+
+
+class TestManifestAccounting:
+    def test_summary_line_counts_everything(self, tmp_path):
+        runner = TaskRunner(jobs=1, failfast=False,
+                            policy=RetryPolicy(max_retries=1,
+                                               backoff_base_s=0.0),
+                            sleep=lambda s: None)
+        runner.run([
+            CellTask(name="fine", fn=_ok, kwargs={"value": 1}),
+            CellTask(name="poison", fn=_poison, kwargs={"value": 2}),
+            CellTask(name="flaky", fn=_flaky,
+                     kwargs={"counter": str(tmp_path / "n"),
+                             "fail_times": 1, "value": 3}),
+        ])
+        line = runner.manifest.summary_line()
+        assert "3 cells" in line
+        assert "2 ok" in line
+        assert "1 quarantined" in line
+        assert "1 retried" in line
+
+    def test_manifest_roundtrips_through_json(self, tmp_path):
+        runner = TaskRunner(jobs=1, failfast=False)
+        runner.run([CellTask(name="poison", fn=_poison,
+                             kwargs={"value": 1})])
+        path = tmp_path / "manifest.json"
+        runner.manifest.write(path)
+        loaded = RunManifest.read(path)
+        assert loaded.counts() == runner.manifest.counts()
+        assert loaded.quarantined()[0].name == "poison"

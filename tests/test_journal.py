@@ -1,0 +1,203 @@
+"""RunJournal / RunManifest unit semantics.
+
+The journal's whole value is what it guarantees under abuse: torn tails
+skipped, incompatible versions orphaned, last-entry-per-key wins, appends
+deduplicated, one-truncation-per-instance so chained sweeps cannot wipe
+each other's checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.journal import (
+    JOURNAL_FORMAT_VERSION,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CellOutcome,
+    RunJournal,
+    RunManifest,
+    run_fingerprint,
+)
+
+
+class TestRunFingerprint:
+    def test_order_independent(self):
+        assert run_fingerprint(["a", "b", "c"]) == run_fingerprint(
+            ["c", "a", "b"])
+
+    def test_sensitive_to_membership(self):
+        assert run_fingerprint(["a", "b"]) != run_fingerprint(["a"])
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert run_fingerprint(["ab", "c"]) != run_fingerprint(["a", "bc"])
+
+
+class TestRunJournal:
+    def test_append_load_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.reset()
+            journal.append("k1", "cell-1", STATUS_OK, payload={"v": 1},
+                           attempts=2, duration_s=0.5)
+            journal.append("k2", "cell-2", STATUS_FAILED,
+                           error={"type": "ValueError", "message": "x"})
+        fresh = RunJournal(path)
+        entries = fresh.load()
+        assert set(entries) == {"k1", "k2"}
+        assert entries["k1"]["payload"] == {"v": 1}
+        assert entries["k1"]["attempts"] == 2
+        assert fresh.completed_payloads() == {"k1": {"v": 1}}
+
+    def test_last_entry_per_key_wins(self, tmp_path):
+        """A cell that failed then succeeded resumes as a success."""
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.reset()
+            journal.append("k1", "cell", STATUS_FAILED,
+                           error={"type": "TransientError", "message": "x"})
+            journal.append("k1", "cell", STATUS_OK, payload={"v": 2})
+        fresh = RunJournal(path)
+        fresh.load()
+        assert fresh.completed_payloads() == {"k1": {"v": 2}}
+
+    def test_duplicate_append_same_status_is_noop(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.reset()
+            journal.append("k1", "cell", STATUS_OK, payload={"v": 1})
+            journal.append("k1", "cell", STATUS_OK, payload={"v": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # header + exactly one entry
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.reset()
+            journal.append("k1", "cell-1", STATUS_OK, payload={"v": 1})
+            journal.append("k2", "cell-2", STATUS_OK, payload={"v": 2})
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-25])  # kill -9 mid-append
+        fresh = RunJournal(path)
+        entries = fresh.load()
+        assert fresh.torn_lines == 1
+        assert set(entries) == {"k1"}  # the torn cell costs one replay
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.reset()
+            journal.append("k1", "cell", STATUS_OK, payload={"v": 1})
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\xff not json\n")
+            handle.write(b'["a", "list", "entry"]\n')
+        fresh = RunJournal(path)
+        entries = fresh.load()
+        assert fresh.torn_lines == 2
+        assert set(entries) == {"k1"}
+
+    def test_incompatible_version_reads_as_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"journal": "repro-run",
+                                     "version": JOURNAL_FORMAT_VERSION + 1})
+                         + "\n")
+            handle.write(json.dumps({"key": "k1", "status": STATUS_OK,
+                                     "payload": 1}) + "\n")
+        journal = RunJournal(path)
+        assert journal.load() == {}
+        assert journal.completed_payloads() == {}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = RunJournal(tmp_path / "nope.jsonl")
+        assert journal.load() == {}
+
+    def test_ensure_fresh_truncates_only_once_per_instance(self, tmp_path):
+        """Chained sweeps sharing one journal must not wipe each other."""
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        journal.ensure_fresh()
+        journal.append("k1", "sweep-1-cell", STATUS_OK, payload={"v": 1})
+        journal.ensure_fresh()  # second sweep, same instance: no-op
+        journal.append("k2", "sweep-2-cell", STATUS_OK, payload={"v": 2})
+        journal.close()
+        fresh = RunJournal(path)
+        fresh.load()
+        assert set(fresh.completed_payloads()) == {"k1", "k2"}
+
+    def test_fresh_instance_ensure_fresh_does_truncate(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.ensure_fresh()
+            journal.append("k1", "old-cell", STATUS_OK, payload={"v": 1})
+        with RunJournal(path) as journal:
+            journal.ensure_fresh()  # a new non-resume run starts clean
+        fresh = RunJournal(path)
+        assert fresh.load() == {}
+
+
+class TestRunManifest:
+    def _sample(self) -> RunManifest:
+        manifest = RunManifest()
+        manifest.record(CellOutcome(name="a", key="k1", status=STATUS_OK,
+                                    attempts=3, retries=2,
+                                    backoff_s=[0.25, 0.5]))
+        manifest.record(CellOutcome(name="b", key="k2",
+                                    status=STATUS_CACHED, attempts=0))
+        manifest.record(CellOutcome(name="c", key="k3",
+                                    status=STATUS_QUARANTINED, attempts=1,
+                                    error={"type": "PoisonCell",
+                                           "message": "bad config",
+                                           "category": "poison"}))
+        manifest.record(CellOutcome(name="d", key="k4", status=STATUS_OK,
+                                    fallback=True, attempts=2))
+        return manifest
+
+    def test_queries(self):
+        manifest = self._sample()
+        assert [c.name for c in manifest.retried()] == ["a"]
+        assert [c.name for c in manifest.quarantined()] == ["c"]
+        assert [c.name for c in manifest.fallbacks()] == ["d"]
+        assert manifest.counts() == {STATUS_OK: 2, STATUS_CACHED: 1,
+                                     STATUS_QUARANTINED: 1}
+
+    def test_summary_line(self):
+        line = self._sample().summary_line()
+        assert "4 cells" in line
+        assert "2 ok" in line
+        assert "1 quarantined" in line
+        assert "1 retried" in line
+        assert "1 inline-fallback" in line
+
+    def test_write_is_atomic_and_reads_back(self, tmp_path):
+        manifest = self._sample()
+        path = tmp_path / "deep" / "manifest.json"
+        manifest.write(path)
+        assert list(tmp_path.rglob("*.tmp.*")) == []  # no orphan temp
+        loaded = RunManifest.read(path)
+        assert loaded.counts() == manifest.counts()
+        assert loaded.retried()[0].backoff_s == [0.25, 0.5]
+        assert loaded.quarantined()[0].error["message"] == "bad config"
+        assert loaded.fallbacks()[0].fallback is True
+
+    def test_write_failure_leaves_no_half_manifest(self, tmp_path,
+                                                   monkeypatch):
+        import os as os_mod
+
+        manifest = self._sample()
+        path = tmp_path / "manifest.json"
+        manifest.write(path)
+        before = path.read_bytes()
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os_mod, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            manifest.write(path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before  # old manifest intact

@@ -163,6 +163,44 @@ class TestResultCache:
         monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "alt"))
         assert default_cache_root() == tmp_path / "alt"
 
+    def test_crash_between_write_and_rename_leaves_cache_consistent(
+        self, tmp_path, monkeypatch
+    ):
+        """Simulated power cut inside ``put``: the entry file is either
+        the complete old version or absent — never half-written."""
+        import os as os_mod
+
+        cache = ResultCache(tmp_path)
+        key = "23" * 32
+        cache.put(key, {"value": "old"})
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os_mod, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            cache.put(key, {"value": "new"})
+        monkeypatch.undo()
+        # The old entry survived untouched, and no temp orphan remains
+        # (put cleans up after itself even when the rename fails).
+        assert cache.get(key) == {"value": "old"}
+        assert list(tmp_path.rglob("*.tmp.*")) == []
+
+    def test_orphan_temp_files_never_read_and_swept_by_clear(
+        self, tmp_path
+    ):
+        """A crash can strand a ``*.tmp.<pid>`` file; ``get`` must not
+        read it and ``clear`` must remove it."""
+        cache = ResultCache(tmp_path)
+        key = "45" * 32
+        cache.put(key, {"value": 7})
+        orphan = cache.path_for(key).with_suffix(".tmp.99999")
+        orphan.write_text('{"half": "writt')  # torn mid-write
+        assert cache.get(key) == {"value": 7}
+        assert cache.stats.corrupt == 0  # orphan never even considered
+        cache.clear()
+        assert not orphan.exists()
+
     def test_stale_result_never_served_after_config_change(self, tmp_path):
         """The end-to-end staleness property: a changed cell recomputes."""
         cache = ResultCache(tmp_path)
