@@ -1,0 +1,181 @@
+"""Bench: observability must be free when it is switched off.
+
+The engine's hot loop gained a probe hook (:attr:`Simulator.on_event`) and
+built-in counters.  The contract — stated in ``repro/netsim/engine.py`` —
+is that with no probe installed and no tracer configured the event loop
+costs **< 2%** over the pre-instrumentation engine.  This bench holds the
+loop to it by racing the instrumented :class:`Simulator` against an
+embedded copy of the pre-instrumentation engine (the exact hot paths it
+shipped with: ``itertools.count`` sequence numbers, no probe checks, no
+high-water tracking) on a pure event-churn workload.
+
+Timing method: the two engines run interleaved for several rounds and the
+*minimum* round is compared — min-of-N is the standard way to measure a
+tight CPU-bound loop because every source of noise (scheduler, GC,
+frequency scaling) only ever adds time.
+
+A second, informational test reports what an *installed* probe costs, so
+regressions in the enabled path are visible in benchmark logs without
+gating CI on it.
+"""
+
+import gc
+import heapq
+import itertools
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.netsim.engine import EventHandle, Simulator
+
+#: Chains of self-rescheduling callbacks: enough events that per-event
+#: loop overhead dominates, small enough for a sub-second round.
+CHAINS = 32
+EVENTS_PER_CHAIN = 1500
+ROUNDS = 9
+OVERHEAD_BUDGET = 0.02
+
+
+class _BaselineSimulator:
+    """The pre-instrumentation event loop, hot paths copied verbatim."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[
+            Tuple[float, int, Callable[[], Any], EventHandle]
+        ] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._cancelled_pending = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time:.6f}, clock already at {self._now:.6f}"
+            )
+        handle = EventHandle(time, next(self._counter))
+        heapq.heappush(self._queue, (time, handle._seq, callback, handle))
+        return handle
+
+    def run(self, until: Optional[float] = None) -> None:
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, callback, handle = self._queue[0]
+                if handle._cancelled:
+                    heapq.heappop(self._queue)
+                    self._cancelled_pending -= 1
+                    continue
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                handle._fired = True
+                callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+
+def _churn(sim) -> int:
+    """Drive ``CHAINS`` self-rescheduling event chains to completion."""
+    fired = [0]
+
+    def make_chain(offset: float):
+        remaining = [EVENTS_PER_CHAIN]
+
+        def tick() -> None:
+            fired[0] += 1
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(0.001, tick)
+
+        sim.schedule_at(offset, tick)
+
+    for chain in range(CHAINS):
+        make_chain(chain * 1e-5)
+    sim.run()
+    return fired[0]
+
+
+def _one_round(factory) -> float:
+    sim = factory()
+    gc.disable()
+    started = time.perf_counter()
+    fired = _churn(sim)
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    assert fired == CHAINS * EVENTS_PER_CHAIN
+    return elapsed
+
+
+def _race(factory_a, factory_b, rounds: int = ROUNDS) -> Tuple[float, float]:
+    """Best-of-N for two engines with strictly interleaved rounds.
+
+    Interleaving matters: running all of A's rounds before all of B's
+    folds any drift in machine load or CPU frequency into the comparison
+    and shows up as phantom overhead.
+    """
+    _one_round(factory_a)  # warmup both code paths
+    _one_round(factory_b)
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        best_a = min(best_a, _one_round(factory_a))
+        best_b = min(best_b, _one_round(factory_b))
+    return best_a, best_b
+
+
+def test_disabled_path_overhead_under_budget():
+    """No probe, no tracer: the instrumented loop stays within 2%.
+
+    The measured overhead sits around 1% (the plain-int sequence counter
+    and hoisted loop locals buy back most of what the probe checks cost),
+    but shared CI runners spike; a bounded retry keeps the gate meaningful
+    — a *real* regression exceeds the budget on every attempt.
+    """
+    overhead = float("inf")
+    for attempt in range(3):
+        baseline_s, instrumented_s = _race(_BaselineSimulator, Simulator)
+        overhead = min(overhead, instrumented_s / baseline_s - 1.0)
+        print(f"\nevent-loop overhead (probe off), attempt {attempt}: "
+              f"{instrumented_s / baseline_s - 1.0:+.2%} "
+              f"(baseline {baseline_s * 1e3:.1f} ms, "
+              f"instrumented {instrumented_s * 1e3:.1f} ms, "
+              f"{CHAINS * EVENTS_PER_CHAIN} events, best of {ROUNDS})")
+        if overhead < OVERHEAD_BUDGET:
+            break
+    assert overhead < OVERHEAD_BUDGET, (
+        f"disabled-path overhead {overhead:+.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget on every attempt"
+    )
+
+
+def test_enabled_probe_cost_informational():
+    """What an installed probe costs per event — reported, not gated."""
+
+    def probed() -> Simulator:
+        sim = Simulator()
+        edges = [0]
+
+        def probe(kind, time_s, handle) -> None:
+            edges[0] += 1
+
+        sim.on_event = probe
+        return sim
+
+    off_s, on_s = _race(Simulator, probed, rounds=5)
+    events = CHAINS * EVENTS_PER_CHAIN
+    print(f"\nprobe enabled: {(on_s / off_s - 1.0):+.2%} "
+          f"({(on_s - off_s) / (2 * events) * 1e9:.0f} ns per edge)")
+    # Sanity only: an installed Python probe costs something, but the
+    # workload must still complete in the same order of magnitude.
+    assert on_s < off_s * 10

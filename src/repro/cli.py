@@ -50,6 +50,13 @@ def _add_sweep(parser: argparse.ArgumentParser) -> None:
                              "journal and run only the remainder")
     parser.add_argument("--manifest",
                         help="write the run-manifest JSON to this path")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="emit chrome://tracing-compatible span JSONL "
+                             "to this path (convert with "
+                             "'python -m repro.obs.trace PATH out.json')")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics-registry snapshot after "
+                             "the run")
 
 
 def _sweep_cache(args):
@@ -110,6 +117,28 @@ def _interrupted_exit(journal_path) -> int:
         file=sys.stderr,
     )
     return 130
+
+
+def _configure_obs(args) -> None:
+    """Arm tracing before a sweep runs (no-op without --trace)."""
+    if getattr(args, "trace", None):
+        from repro.obs import trace
+
+        trace.configure(args.trace)
+
+
+def _report_obs(args) -> None:
+    """Flush the trace and print the metrics snapshot the flags asked for."""
+    if getattr(args, "trace", None):
+        from repro.obs import trace
+
+        trace.shutdown()
+        print(f"wrote trace {args.trace}")
+    if getattr(args, "metrics", False):
+        from repro.obs import metrics
+
+        print()
+        print(metrics.format_snapshot(metrics.snapshot()))
 
 
 def _print_manifest(manifest, args) -> None:
@@ -277,6 +306,7 @@ def _cmd_resilience(args) -> int:
     duration = max(args.duration, 10.0)  # the gauntlet needs >= 10 s
     journal = _explicit_journal(args)
     manifest = RunManifest()
+    _configure_obs(args)
     try:
         with _graceful_interrupts():
             result = resilience.run(duration_s=duration, seed=args.seed,
@@ -295,6 +325,7 @@ def _cmd_resilience(args) -> int:
         if journal is not None:
             journal.close()
     _print_manifest(manifest, args)
+    _report_obs(args)
     print(result.format_table())
     print(f"all profiles recovered: {result.all_recovered()}")
     facetime = result.details["FaceTime"]
@@ -325,6 +356,7 @@ def _cmd_campaign(args) -> int:
     journal_path = (args.journal if args.journal
                     else campaign.default_journal_path(args.cache_dir))
     journal = RunJournal(journal_path)
+    _configure_obs(args)
     try:
         with _graceful_interrupts():
             campaign.run(progress=lambda line: print(f"  {line}"),
@@ -347,6 +379,7 @@ def _cmd_campaign(args) -> int:
           f"{stats.timeouts} timeouts "
           f"in {stats.elapsed_s:.1f} s with jobs={args.jobs}")
     _print_manifest(campaign.last_manifest, args)
+    _report_obs(args)
     if args.csv:
         campaign.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -370,7 +403,9 @@ def _cmd_report(args) -> int:
         sweep = dict(
             cell_timeout=args.cell_timeout, max_retries=args.max_retries,
             journal=journal, resume=args.resume, manifest=RunManifest(),
+            metrics=args.metrics,
         )
+        _configure_obs(args)
     settings = (
         dataclasses.replace(ReportSettings.quick(), jobs=jobs, cache=cache,
                             **sweep)
@@ -405,6 +440,11 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(markdown)
+    if sweep_capable and getattr(args, "trace", None):
+        from repro.obs import trace
+
+        trace.shutdown()
+        print(f"wrote trace {args.trace}", file=sys.stderr)
     return 0
 
 

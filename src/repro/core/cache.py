@@ -26,6 +26,8 @@ import os
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Union
 
+import numpy as np
+
 import repro
 from repro import calibration
 
@@ -79,6 +81,27 @@ def code_fingerprint() -> str:
     return _CODE_FINGERPRINT
 
 
+def set_code_fingerprint(fingerprint: str) -> None:
+    """Adopt a fingerprint computed elsewhere (parent -> worker).
+
+    The fingerprint is memoized per process, so without this every
+    spawned worker would re-hash all ~180 source files on its first
+    cell.  The sweep runner computes it once in the parent and ships it
+    with each task payload; workers adopt it here.
+
+    Raises:
+        ValueError: If ``fingerprint`` is not a sha256 hex digest.
+    """
+    global _CODE_FINGERPRINT
+    if (not isinstance(fingerprint, str) or len(fingerprint) != 64
+            or any(c not in "0123456789abcdef" for c in fingerprint)):
+        raise ValueError(
+            f"code fingerprint must be a sha256 hex digest, "
+            f"got {fingerprint!r}"
+        )
+    _CODE_FINGERPRINT = fingerprint
+
+
 def canonical(value: Any) -> Any:
     """A JSON-stable form of ``value`` for hashing.
 
@@ -86,7 +109,20 @@ def canonical(value: Any) -> Any:
     explicitly-tagged field mapping, mappings get sorted keys, and tuples
     collapse to lists.  Raises ``TypeError`` for anything else that JSON
     cannot represent — better a loud failure than a silently unstable key.
+
+    Numpy scalars coerce to their native Python twins *before* the
+    primitive check: sweep kwargs routinely arrive as ``np.int64`` /
+    ``np.float32`` (rejected outright without this) and ``np.float64``
+    (which subclasses ``float`` and would otherwise sneak into the JSON
+    encoder as a numpy object), so a numpy-typed kwarg and its native
+    twin must produce the same key.
     """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, (list, tuple)):

@@ -33,6 +33,7 @@ from repro.core.parallel import CellTask, RunStats, TaskRunner
 from repro.core.testbed import multi_user_testbed
 from repro.devices.models import Device, VisionPro
 from repro.netsim.capture import Direction
+from repro.obs import trace as obs_trace
 from repro.vca.profiles import PROFILES, PersonaKind
 
 import numpy as np
@@ -246,7 +247,9 @@ class Campaign:
                             timeout=timeout, policy=policy, journal=journal,
                             resume=resume, manifest=manifest,
                             failfast=failfast)
-        results = runner.run(self.tasks())
+        with obs_trace.span("campaign.run", cat="campaign",
+                            cells=len(self.cells), jobs=jobs):
+            results = runner.run(self.tasks())
         self.records = [r for r in results if not isinstance(r, CellFailure)]
         self.skipped = [r for r in results if isinstance(r, CellFailure)]
         self.last_run_stats = runner.stats

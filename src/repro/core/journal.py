@@ -206,6 +206,12 @@ class CellOutcome:
     timeouts: int = 0
     backoff_s: List[float] = field(default_factory=list)
     error: Optional[Dict[str, Any]] = None
+    #: Simulated seconds the cell advanced its event loops (0 when the
+    #: cell ran no simulator, e.g. cached/resumed replays).
+    sim_time_s: float = 0.0
+    #: Per-cell metrics snapshot (see :mod:`repro.obs.metrics`), None
+    #: for replayed cells — they executed nothing.
+    metrics: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -224,6 +230,10 @@ class CellOutcome:
             out["backoff_s"] = [round(b, 6) for b in self.backoff_s]
         if self.error is not None:
             out["error"] = self.error
+        if self.sim_time_s:
+            out["sim_time_s"] = round(self.sim_time_s, 6)
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
         return out
 
 
@@ -262,6 +272,10 @@ class RunManifest:
     def fallbacks(self) -> List[CellOutcome]:
         """Cells that completed in-process after pool retries ran out."""
         return [c for c in self.cells if c.fallback]
+
+    def total_sim_time_s(self) -> float:
+        """Simulated seconds actually executed across every cell."""
+        return sum(c.sim_time_s for c in self.cells)
 
     def counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -327,5 +341,7 @@ class RunManifest:
                 timeouts=entry.get("timeouts", 0),
                 backoff_s=entry.get("backoff_s", []),
                 error=entry.get("error"),
+                sim_time_s=entry.get("sim_time_s", 0.0),
+                metrics=entry.get("metrics"),
             ))
         return manifest

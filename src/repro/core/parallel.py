@@ -28,7 +28,15 @@ to survive real execution failures:
 - with a :class:`~repro.core.journal.RunJournal` attached, every
   completed cell is checkpointed (fsynced JSONL) and ``resume=True``
   replays finished cells after SIGINT, SIGKILL, or a machine crash —
-  byte-identical to an undisturbed run.
+  byte-identical to an undisturbed run;
+- every executed cell is wrapped in an observability span
+  (:mod:`repro.obs.trace` — workers append to the same trace file as
+  the parent) and its :mod:`repro.obs.metrics` delta rides back with
+  the result, so the run manifest records per-cell wall time,
+  *simulated* time, and a metrics snapshot, and the parent registry
+  aggregates sweep-wide totals.  The parent also computes the code
+  fingerprint once and ships it to each worker, which would otherwise
+  re-hash every source file on its first cell.
 
 Determinism is the contract that makes all of this safe: every cell
 function is a pure function of its arguments, so serial, parallel,
@@ -52,7 +60,12 @@ from multiprocessing import connection as mp_connection
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
-from repro.core.cache import ResultCache, task_key
+from repro.core.cache import (
+    ResultCache,
+    code_fingerprint,
+    set_code_fingerprint,
+    task_key,
+)
 from repro.core.errors import (
     Category,
     CellFailure,
@@ -72,6 +85,8 @@ from repro.core.journal import (
     RunJournal,
     RunManifest,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -136,14 +151,40 @@ def _describe_exception(exc: BaseException) -> RemoteErrorInfo:
     )
 
 
+def _sim_time_of(snap: Dict[str, Any]) -> float:
+    """Simulated seconds recorded in one metrics snapshot/delta."""
+    return float(snap.get("counters", {}).get("netsim.sim_time_s", 0.0))
+
+
 def _child_main(conn: Any, fn: Callable[..., Any],
-                kwargs: Dict[str, Any]) -> None:
-    """Worker entry point: run one cell, report exactly one outcome."""
+                kwargs: Dict[str, Any],
+                obs_context: Optional[Dict[str, Any]] = None) -> None:
+    """Worker entry point: run one cell, report exactly one outcome.
+
+    ``obs_context`` carries the parent's observability state across the
+    process boundary: the parent-computed code fingerprint (so workers
+    never re-hash the source tree), the trace path (so worker spans land
+    in the same JSONL file), and the cell name for the span label.
+    """
+    obs_context = obs_context or {}
+    fingerprint = obs_context.get("code_fingerprint")
+    if fingerprint:
+        set_code_fingerprint(fingerprint)
+    if obs_context.get("trace_path"):
+        obs_trace.configure(obs_context["trace_path"])
+    name = obs_context.get("name", getattr(fn, "__name__", "cell"))
     try:
-        result = fn(**kwargs)
-        outcome: Dict[str, Any] = {"status": "ok", "result": result}
+        before = obs_metrics.snapshot()
+        with obs_trace.span(f"cell.{name}", cat="cell") as cell_span:
+            result = fn(**kwargs)
+            snap = obs_metrics.delta(before, obs_metrics.snapshot())
+            cell_span.set(sim_dur_s=_sim_time_of(snap))
+        outcome: Dict[str, Any] = {"status": "ok", "result": result,
+                                   "metrics": snap}
     except BaseException as exc:  # noqa: BLE001 - report, don't die silently
         outcome = {"status": "error", "info": _describe_exception(exc)}
+    finally:
+        obs_trace.shutdown()
     try:
         conn.send(outcome)
     except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
@@ -189,6 +230,8 @@ class _CellState:
     backoff_s: List[float] = field(default_factory=list)
     first_started: Optional[float] = None
     key: Optional[str] = None
+    sim_time_s: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -276,6 +319,13 @@ class TaskRunner:
         """
         started = self._monotonic()
         self.stats = RunStats(tasks=len(tasks))
+        with obs_trace.span("runner.run", cat="runner", tasks=len(tasks),
+                            jobs=self.jobs):
+            results = self._run_traced(tasks)
+        self.stats.elapsed_s = self._monotonic() - started
+        return results
+
+    def _run_traced(self, tasks: Sequence[CellTask]) -> List[Any]:
         results: List[Any] = [None] * len(tasks)
         # Keys are only needed (and their kwargs only need to be
         # canonicalizable) when something content-addressed consumes them.
@@ -301,7 +351,6 @@ class TaskRunner:
             else:
                 for index in pending:
                     self._execute_inline(tasks[index], states[index], results)
-        self.stats.elapsed_s = self._monotonic() - started
         return results
 
     def _replay_journal(self, tasks: Sequence[CellTask],
@@ -370,7 +419,14 @@ class TaskRunner:
                 state.first_started = self._monotonic()
             state.attempts += 1
             try:
-                result = task.execute()
+                before = obs_metrics.snapshot()
+                with obs_trace.span(f"cell.{task.name}",
+                                    cat="cell") as cell_span:
+                    result = task.execute()
+                    snap = obs_metrics.delta(before, obs_metrics.snapshot())
+                    cell_span.set(sim_dur_s=_sim_time_of(snap))
+                state.metrics = snap
+                state.sim_time_s = _sim_time_of(snap)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:  # noqa: BLE001 - classified below
@@ -442,9 +498,17 @@ class TaskRunner:
     def _spawn(self, ctx: Any, task: CellTask, state: _CellState,
                active: Dict[Any, _Active]) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
+        obs_context = {
+            "name": task.name,
+            # Computed once per parent (memoized) and shipped, so a
+            # fresh worker never re-hashes the whole source tree just
+            # to key its first cell.
+            "code_fingerprint": code_fingerprint(),
+            "trace_path": obs_trace.trace_path(),
+        }
         process = ctx.Process(
             target=_child_main,
-            args=(child_conn, task.fn, dict(task.kwargs)),
+            args=(child_conn, task.fn, dict(task.kwargs), obs_context),
             daemon=True,
         )
         process.start()
@@ -476,6 +540,13 @@ class TaskRunner:
                                      results, requeue, fallbacks,
                                      crash=True)
         elif message.get("status") == "ok":
+            snap = message.get("metrics")
+            if snap:
+                state.metrics = snap
+                state.sim_time_s = _sim_time_of(snap)
+                # Fold the worker's process-local counters into the
+                # parent registry so ``--metrics`` reports sweep totals.
+                obs_metrics.REGISTRY.merge(snap)
             self._complete(task, state, message["result"], results)
         else:
             info: RemoteErrorInfo = message["info"]
@@ -571,6 +642,11 @@ class TaskRunner:
                     if (isinstance(message, dict)
                             and message.get("status") == "ok"):
                         entry.state.attempts += 1
+                        snap = message.get("metrics")
+                        if snap:
+                            entry.state.metrics = snap
+                            entry.state.sim_time_s = _sim_time_of(snap)
+                            obs_metrics.REGISTRY.merge(snap)
                         self._complete(tasks[entry.state.index], entry.state,
                                        message["result"], results)
             except Exception:  # noqa: BLE001 - best-effort during shutdown
@@ -656,7 +732,7 @@ class TaskRunner:
             attempts=state.attempts, retries=state.retries_used,
             duration_s=self._elapsed(state), fallback=state.fallback,
             timeouts=state.timeouts, backoff_s=list(state.backoff_s),
-            error=error,
+            error=error, sim_time_s=state.sim_time_s, metrics=state.metrics,
         )
 
     def _elapsed(self, state: _CellState) -> float:

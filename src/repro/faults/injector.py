@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 from repro.netsim.engine import Simulator
 from repro.netsim.network import LinkFault, Network
+from repro.obs import metrics as obs_metrics
 from repro.faults.schedule import (
     SERVER_TARGET,
     FaultEvent,
@@ -124,11 +125,16 @@ class FaultInjector:
         if address is None:
             # P2P session: there is no server to take down.
             self.log.append(FaultLogEntry(self.sim.now, "skip", event))
+            obs_metrics.counter("faults.skipped").inc()
             return
         state = self._states.setdefault(address, _TargetState(address))
         state.active.append(event)
         self._recompute(state)
         self.log.append(FaultLogEntry(self.sim.now, "apply", event, address))
+        obs_metrics.counter("faults.applied").inc()
+        obs_metrics.counter(
+            f"faults.applied.{event.kind.name.lower()}"
+        ).inc()
         # The revert is pinned to the address resolved at onset: a server
         # outage keeps afflicting the *old* relay even after a failover.
         self.sim.schedule_at(event.end_s, lambda: self._revert(event, address))
@@ -140,6 +146,7 @@ class FaultInjector:
         state.active.remove(event)
         self._recompute(state)
         self.log.append(FaultLogEntry(self.sim.now, "revert", event, address))
+        obs_metrics.counter("faults.reverted").inc()
 
     def _recompute(self, state: _TargetState) -> None:
         """Re-derive the combined impairment of one attachment."""

@@ -1,0 +1,63 @@
+"""Observability: tracing spans and process-local metrics.
+
+``repro.obs`` is the measurement layer *for the testbed itself* — the
+paper measures telepresence systems, and this package makes the
+simulated reproduction auditable the same way: spans record where wall
+and simulated time went (:mod:`repro.obs.trace`, Chrome-trace JSONL),
+and counters/gauges/histograms record what every subsystem did
+(:mod:`repro.obs.metrics`).
+
+Zero dependencies, no threads, and a free disabled path: nothing here
+may slow the event loop down when tracing is off (held to < 2% by
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    counter,
+    delta,
+    format_snapshot,
+    gauge,
+    histogram,
+    snapshot,
+)
+from repro.obs.trace import (
+    Tracer,
+    chrome_export,
+    configure,
+    current_tracer,
+    install,
+    read_trace,
+    shutdown,
+    span,
+    trace_path,
+    validate_nesting,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "counter",
+    "delta",
+    "format_snapshot",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "Tracer",
+    "chrome_export",
+    "configure",
+    "current_tracer",
+    "install",
+    "read_trace",
+    "shutdown",
+    "span",
+    "trace_path",
+    "validate_nesting",
+]

@@ -1,0 +1,255 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The paper's contribution is *measurement*, so the testbed itself must be
+measurable: every subsystem (event engine, VCA sessions, jitter buffers,
+fault injector, sweep runner) records what it did into one process-local
+:class:`Registry`.  Zero dependencies, zero background threads, and a
+deliberately tiny hot path — an increment is one attribute add — so the
+instrumentation can stay always-on (the overhead bench holds the event
+loop to < 2%).
+
+Three snapshot-centric operations make the registry useful across the
+sweep machinery:
+
+- :meth:`Registry.snapshot` — a plain-dict, JSON-serializable view;
+- :func:`delta` — what happened *between* two snapshots (per-cell
+  accounting on the serial path, where one registry serves many cells);
+- :meth:`Registry.merge` — fold a worker process's snapshot into the
+  parent registry so ``--metrics`` reports whole-sweep totals even when
+  every cell ran in its own process.
+
+Merge semantics: counters add, gauges keep the maximum (they are used
+for high-water marks), histograms combine count/sum/min/max.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing value (int or float amounts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0 to stay monotonic)."""
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value; ``set_max`` makes it a high-water mark."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def set_max(self, value: Number) -> None:
+        """Keep the largest value ever seen (high-water-mark gauges)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max.
+
+    Deliberately reservoir-free: four scalars keep ``observe`` cheap
+    enough for per-frame call sites, and the snapshot stays a tiny
+    JSON-able dict.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Registry:
+    """Named metrics, one instance per concern (or the process default).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: call sites
+    fetch their instrument once (usually at construction time) and hold
+    the object, so the hot path never touches the registry dict.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def reset(self) -> None:
+        """Forget every instrument (tests; never needed in production)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict, JSON-serializable view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold another process's snapshot (or delta) into this registry."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set_max(value)
+        for name, stats in snap.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += stats.get("count", 0)
+            hist.total += stats.get("sum", 0.0)
+            for bound, better in (("min", min), ("max", max)):
+                incoming = stats.get(bound)
+                if incoming is None:
+                    continue
+                current = getattr(hist, bound)
+                setattr(hist, bound,
+                        incoming if current is None
+                        else better(current, incoming))
+
+
+def delta(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """What happened between two snapshots of the *same* registry.
+
+    Counters and histogram count/sum subtract; gauges (and histogram
+    min/max, which cannot be un-mixed) report the ``after`` value.  Only
+    instruments that actually moved appear, so a quiet subsystem costs
+    nothing in the per-cell manifest.
+    """
+    out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    before_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        moved = value - before_counters.get(name, 0)
+        if moved:
+            out["counters"][name] = moved
+    before_gauges = before.get("gauges", {})
+    for name, value in after.get("gauges", {}).items():
+        if name not in before_gauges or value != before_gauges[name]:
+            out["gauges"][name] = value
+    before_hists = before.get("histograms", {})
+    for name, stats in after.get("histograms", {}).items():
+        prior = before_hists.get(name, {})
+        count = stats.get("count", 0) - prior.get("count", 0)
+        if not count:
+            continue
+        out["histograms"][name] = {
+            "count": count,
+            "sum": stats.get("sum", 0.0) - prior.get("sum", 0.0),
+            "min": stats.get("min"),
+            "max": stats.get("max"),
+        }
+    return out
+
+
+def _rows(snap: Dict[str, Any]) -> Iterable[Tuple[str, str]]:
+    for name, value in snap.get("counters", {}).items():
+        text = f"{value:g}" if isinstance(value, float) else str(value)
+        yield name, text
+    for name, value in snap.get("gauges", {}).items():
+        yield name, f"{value:g}"
+    for name, stats in snap.get("histograms", {}).items():
+        count = stats.get("count", 0)
+        mean = (stats.get("sum", 0.0) / count) if count else 0.0
+        yield name, (f"n={count} mean={mean:g} "
+                     f"min={stats.get('min')} max={stats.get('max')}")
+
+
+def format_snapshot(snap: Dict[str, Any],
+                    title: Optional[str] = "metrics") -> str:
+    """Human-readable rendering for CLI output and reports.
+
+    ``title=None`` drops the heading line (and its indentation) for
+    embedding in a surrounding document.
+    """
+    rows = list(_rows(snap))
+    if not rows:
+        return f"{title}: (no instruments recorded)" if title else ""
+    width = max(len(name) for name, _ in rows)
+    indent = "  " if title else ""
+    lines = [f"{title}:"] if title else []
+    for name, text in rows:
+        lines.append(f"{indent}{name:<{width}}  {text}")
+    return "\n".join(lines)
+
+
+#: The process-default registry every built-in instrument records into.
+REGISTRY = Registry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the process-default registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge on the process-default registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create a histogram on the process-default registry."""
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> Dict[str, Any]:
+    """Snapshot the process-default registry."""
+    return REGISTRY.snapshot()

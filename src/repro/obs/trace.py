@@ -1,0 +1,311 @@
+"""Lightweight spans emitted as Chrome-trace-event JSONL.
+
+A span measures one region of work — a campaign, a sweep cell, a session
+run — on *two* clocks at once: wall time (``ts``/``dur``, microseconds,
+shared epoch across processes) and, when the region drives a simulator,
+the simulated clock (``args.sim_t0_s``/``args.sim_dur_s``).  Each
+finished span is appended to the trace file as one self-contained JSON
+object per line, so
+
+- concurrent worker processes can append to the same file safely
+  (O_APPEND, one line per write),
+- a killed worker loses at most its in-flight span, never the file, and
+- every line is independently parseable — the round-trip/validation
+  tooling (:func:`read_trace`, :func:`validate_nesting`) and the CI
+  observability job rely on that.
+
+Each line is a complete-phase (``"ph": "X"``) Chrome trace event;
+:func:`chrome_export` wraps the JSONL into the JSON array form that
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+directly (``python -m repro.obs.trace trace.jsonl trace.json``).
+
+The disabled path is a single module-global ``None`` check returning a
+shared no-op span, so leaving tracing off costs nothing measurable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "Tracer",
+    "span",
+    "configure",
+    "install",
+    "shutdown",
+    "current_tracer",
+    "trace_path",
+    "read_trace",
+    "validate_nesting",
+    "chrome_export",
+]
+
+#: Category recorded on spans unless the call site overrides it.
+DEFAULT_CATEGORY = "repro"
+
+
+class _NullSpan:
+    """The shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes (matching :meth:`_Span.set`)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; emits its trace event when the ``with`` block ends."""
+
+    __slots__ = ("_tracer", "name", "cat", "_sim_clock", "args",
+                 "_id", "_parent", "_wall_t0", "_perf_t0", "_sim_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 sim_clock: Optional[Callable[[], float]],
+                 args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self._sim_clock = sim_clock
+        self.args = args
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes from inside the block (recorded at exit)."""
+        self.args.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self._id = tracer._next_id()
+        stack = tracer._stack()
+        self._parent = stack[-1] if stack else None
+        stack.append(self._id)
+        self._wall_t0 = time.time()
+        self._sim_t0 = self._sim_clock() if self._sim_clock else None
+        self._perf_t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        dur_s = time.perf_counter() - self._perf_t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self._id:
+            stack.pop()
+        args = dict(self.args)
+        args["id"] = self._id
+        if self._parent is not None:
+            args["parent"] = self._parent
+        if self._sim_t0 is not None:
+            args["sim_t0_s"] = round(self._sim_t0, 9)
+            args["sim_dur_s"] = round(self._sim_clock() - self._sim_t0, 9)
+        if exc_info and exc_info[0] is not None:
+            args["error"] = exc_info[0].__name__
+        self._tracer._emit({
+            "name": self.name,
+            "cat": self.cat,
+            "ph": "X",
+            "pid": self._tracer.pid,
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "ts": round(self._wall_t0 * 1e6, 3),
+            "dur": round(dur_s * 1e6, 3),
+            "args": args,
+        })
+        return False
+
+
+class Tracer:
+    """Appends finished spans to a JSONL file, one event per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.pid = os.getpid()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def _next_id(self) -> str:
+        return f"{self.pid}:{next(self._ids)}"
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._handle.closed:  # pragma: no cover - late span at exit
+                return
+            self._handle.write(line)
+            self._handle.flush()
+
+    def span(self, name: str, *, cat: str = DEFAULT_CATEGORY,
+             sim_clock: Optional[Callable[[], float]] = None,
+             **attrs: Any) -> _Span:
+        """A context manager measuring ``name`` on this tracer."""
+        return _Span(self, name, cat, sim_clock, attrs)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+_TRACER: Optional[Tracer] = None
+
+
+def span(name: str, *, cat: str = DEFAULT_CATEGORY,
+         sim_clock: Optional[Callable[[], float]] = None,
+         **attrs: Any) -> Union[_Span, _NullSpan]:
+    """A span on the installed tracer — or a free no-op when disabled."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat=cat, sim_clock=sim_clock, **attrs)
+
+
+def configure(path: Union[str, Path]) -> Tracer:
+    """Install (or reuse) a tracer appending to ``path``.
+
+    Idempotent per path: worker processes that inherit an already-open
+    tracer via fork keep it instead of re-opening the file.
+    """
+    global _TRACER
+    if (_TRACER is not None and not _TRACER._handle.closed
+            and _TRACER.path == Path(path) and _TRACER.pid == os.getpid()):
+        return _TRACER
+    _TRACER = Tracer(path)
+    return _TRACER
+
+
+def install(tracer: Optional[Tracer]) -> None:
+    """Make ``tracer`` the process-global tracer (None disables)."""
+    global _TRACER
+    _TRACER = tracer
+
+
+def shutdown() -> None:
+    """Flush, close, and uninstall the global tracer (no-op if none)."""
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.close()
+        _TRACER = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None while tracing is disabled."""
+    return _TRACER
+
+
+def trace_path() -> Optional[str]:
+    """The installed tracer's file path (ships to worker processes)."""
+    return str(_TRACER.path) if _TRACER is not None else None
+
+
+# ----------------------------------------------------------------------
+# Reading back: round-trip, validation, Chrome/Perfetto export
+# ----------------------------------------------------------------------
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into event dicts.
+
+    Raises:
+        ValueError: On a line that is not a JSON object — a trace that
+            does not parse must fail loudly, not validate vacuously.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{lineno}: event is not an object")
+            events.append(event)
+    return events
+
+
+def validate_nesting(events: Sequence[Dict[str, Any]]) -> List[str]:
+    """Check spans nest properly; returns violations (empty = valid).
+
+    Within each (pid, tid) timeline, complete events must form a strict
+    hierarchy — a span either contains another or is disjoint from it,
+    never partially overlapping — and a recorded ``parent`` id must name
+    a span that actually encloses the child.
+    """
+    problems: List[str] = []
+    timelines: Dict[Any, List[Dict[str, Any]]] = {}
+    by_id: Dict[Any, Dict[str, Any]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        timelines.setdefault((event.get("pid"), event.get("tid")),
+                             []).append(event)
+        span_id = (event.get("args") or {}).get("id")
+        if span_id is not None:
+            by_id[span_id] = event
+    for key, group in timelines.items():
+        # Outer spans first at identical start times, so the stack walk
+        # sees a parent before its zero-gap children.
+        group.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[Dict[str, Any]] = []
+        for event in group:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and stack[-1]["ts"] + stack[-1]["dur"] <= start:
+                stack.pop()
+            if stack and end > stack[-1]["ts"] + stack[-1]["dur"] + 1e-6:
+                problems.append(
+                    f"{key}: span {event.get('name')!r} overlaps "
+                    f"{stack[-1].get('name')!r} without nesting"
+                )
+            stack.append(event)
+            parent_id = (event.get("args") or {}).get("parent")
+            parent = by_id.get(parent_id)
+            if parent is not None and parent.get("pid") == event.get("pid"):
+                p_start = parent["ts"]
+                p_end = parent["ts"] + parent["dur"]
+                if start + 1e-6 < p_start or end > p_end + 1e-6:
+                    problems.append(
+                        f"{key}: span {event.get('name')!r} not inside "
+                        f"its parent {parent.get('name')!r}"
+                    )
+    return problems
+
+
+def chrome_export(src: Union[str, Path], dst: Union[str, Path]) -> int:
+    """JSONL trace -> Chrome/Perfetto JSON array; returns event count."""
+    events = read_trace(src)
+    with open(dst, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events}, handle)
+    return len(events)
+
+
+if __name__ == "__main__":  # pragma: no cover - tiny converter CLI
+    import sys
+
+    if len(sys.argv) != 3:
+        sys.exit("usage: python -m repro.obs.trace TRACE.jsonl OUT.json")
+    count = chrome_export(sys.argv[1], sys.argv[2])
+    print(f"wrote {sys.argv[2]} ({count} events) — open in "
+          f"chrome://tracing or https://ui.perfetto.dev")

@@ -51,6 +51,7 @@ class ReportSettings:
     journal: Optional[RunJournal] = None
     resume: bool = False
     manifest: Optional[RunManifest] = None
+    metrics: bool = False
 
     @classmethod
     def quick(cls) -> "ReportSettings":
@@ -246,6 +247,17 @@ def manifest_section(settings: ReportSettings) -> str:
     return _section("Run manifest — how the sweeps executed", rows)
 
 
+def metrics_section(settings: ReportSettings) -> str:
+    """Observability: the metrics-registry snapshot after all sweeps."""
+    from repro.obs import metrics as obs_metrics
+
+    del settings
+    snap = obs_metrics.snapshot()
+    body = obs_metrics.format_snapshot(snap, title=None)
+    rows = ["```", body if body else "(no instruments recorded)", "```"]
+    return _section("Metrics — instrument snapshot", rows)
+
+
 def generate_report(settings: ReportSettings = ReportSettings()) -> str:
     """The full markdown report."""
     sections = [
@@ -262,4 +274,6 @@ def generate_report(settings: ReportSettings = ReportSettings()) -> str:
     ]
     if settings.manifest is not None:
         sections.append(manifest_section(settings))
+    if settings.metrics:
+        sections.append(metrics_section(settings))
     return "\n".join(sections)

@@ -16,6 +16,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro import calibration
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,10 @@ class AdaptiveJitterBuffer:
         self.late_frames = 0
         #: ``(arrival_s, playout_delay_ms)`` after each arrival.
         self.timeline: List[Tuple[float, float]] = []
+        # Stream counters fetched once; observe() is a per-frame path.
+        self._m_frames = obs_metrics.counter("vca.jitterbuffer.frames")
+        self._m_late = obs_metrics.counter("vca.jitterbuffer.late_frames")
+        self._m_delay = obs_metrics.histogram("vca.jitterbuffer.delay_ms")
 
     def observe(self, send_s: float, arrival_s: float) -> float:
         """Feed one frame's (send, arrival) pair; returns the new delay.
@@ -125,8 +130,10 @@ class AdaptiveJitterBuffer:
         if one_way_ms < 0:
             raise ValueError("arrival precedes send")
         self.frames += 1
+        self._m_frames.inc()
         if arrival_s > send_s + self.playout_delay_ms / 1000.0:
             self.late_frames += 1
+            self._m_late.inc()
         if not self._primed:
             self._mean_ms = one_way_ms
             self._primed = True
@@ -139,6 +146,7 @@ class AdaptiveJitterBuffer:
             self.min_delay_ms, self.max_delay_ms,
         ))
         self.timeline.append((arrival_s, self.playout_delay_ms))
+        self._m_delay.observe(self.playout_delay_ms)
         return self.playout_delay_ms
 
     @property

@@ -33,6 +33,8 @@ from repro.netsim.node import Host
 from repro.netsim.packet import Packet
 from repro.netsim.sfu import SelectiveForwardingUnit
 from repro.netsim.shaper import TrafficShaper
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.vca.media import (
     MEDIA_PORT,
     AudioSource,
@@ -204,6 +206,11 @@ class TelepresenceSession:
         host = self._hosts[participant.user_id]
         target_address, target_port = self._media_target(index)
         seed = self.seed * 1000 + index
+        # Per-stream counters, fetched once here so the per-packet hot
+        # path is a single attribute add.
+        rx_packets = obs_metrics.counter(
+            f"vca.rx.packets.{participant.user_id}"
+        )
         runtime = self.resilience_runtime
         target = (
             runtime.media_target(participant.user_id, target_address,
@@ -216,7 +223,13 @@ class TelepresenceSession:
             handler = receiver.handle
             if runtime is not None:
                 handler = runtime.tap(participant.user_id, handler)
-            host.bind(MEDIA_PORT, handler)
+
+            def counted(packet: Packet, _inner=handler,
+                        _rx=rx_packets) -> None:
+                _rx.inc()
+                _inner(packet)
+
+            host.bind(MEDIA_PORT, counted)
             self._receivers[participant.user_id] = receiver
             if runtime is not None and runtime.config.enable_ladder:
                 runtime.spatial_source(participant.user_id, seed).attach(
@@ -237,7 +250,9 @@ class TelepresenceSession:
             self._stats_collectors[participant.user_id] = collector
 
             def receive(packet: Packet, uid: str = participant.user_id,
-                        coll: MediaStatsCollector = collector) -> None:
+                        coll: MediaStatsCollector = collector,
+                        _rx=rx_packets) -> None:
+                _rx.inc()
                 if packet.meta.get("kind") == "video":
                     self._video_counts[uid] += 1
                 coll.on_packet(packet)
@@ -289,7 +304,13 @@ class TelepresenceSession:
         """Run the call for ``duration_s`` simulated seconds."""
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        self.sim.run(until=duration_s)
+        with obs_trace.span("vca.session.run", cat="session",
+                            sim_clock=lambda: self.sim.now,
+                            profile=self.profile.name,
+                            users=len(self.participants),
+                            persona=self.persona_kind.value):
+            self.sim.run(until=duration_s)
+        obs_metrics.counter("vca.sessions_run").inc()
         resilience = (
             self.resilience_runtime.collect(duration_s)
             if self.resilience_runtime is not None else None

@@ -1,0 +1,329 @@
+"""Observability layer: metrics registry, tracing spans, instrumentation.
+
+Covers the :mod:`repro.obs` package itself (counters/gauges/histograms,
+snapshot/delta/merge algebra, span emission and the JSONL round-trip) and
+the integration contract: a traced campaign emits parseable, properly
+nested spans carrying both wall and simulated durations, and its manifest
+records a per-cell metrics snapshot — on the serial and pool paths alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.journal import RunManifest
+from repro.netsim.engine import Simulator
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import Registry, delta, format_snapshot
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Tracing is process-global state; never leak it across tests."""
+    obs_trace.shutdown()
+    yield
+    obs_trace.shutdown()
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    reg = Registry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(4)
+    reg.gauge("g").set(2.0)
+    reg.gauge("g").set_max(7.0)
+    reg.gauge("g").set_max(3.0)  # lower: must not win
+    hist = reg.histogram("h")
+    for value in (1.0, 2.0, 6.0):
+        hist.observe(value)
+    snap = reg.snapshot()
+    assert snap["counters"]["c"] == 5
+    assert snap["gauges"]["g"] == 7.0
+    assert snap["histograms"]["h"]["count"] == 3
+    assert snap["histograms"]["h"]["sum"] == pytest.approx(9.0)
+    assert snap["histograms"]["h"]["min"] == 1.0
+    assert snap["histograms"]["h"]["max"] == 6.0
+    assert hist.mean == pytest.approx(3.0)
+
+
+def test_instruments_are_get_or_create():
+    reg = Registry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.gauge("y") is reg.gauge("y")
+    assert reg.histogram("z") is reg.histogram("z")
+
+
+def test_registry_reset_clears_values():
+    reg = Registry()
+    reg.counter("c").inc(3)
+    reg.reset()
+    assert reg.snapshot()["counters"].get("c", 0) == 0
+
+
+def test_delta_reports_only_moved_instruments():
+    reg = Registry()
+    reg.counter("stays").inc(10)
+    reg.histogram("h").observe(1.0)
+    before = reg.snapshot()
+    reg.counter("moves").inc(2)
+    reg.gauge("g").set(5.0)
+    reg.histogram("h").observe(3.0)
+    moved = delta(before, reg.snapshot())
+    assert moved["counters"] == {"moves": 2}
+    assert moved["gauges"] == {"g": 5.0}
+    assert moved["histograms"]["h"]["count"] == 1
+    assert moved["histograms"]["h"]["sum"] == pytest.approx(3.0)
+    assert "stays" not in moved["counters"]
+
+
+def test_merge_adds_counters_and_maxes_gauges():
+    reg = Registry()
+    reg.counter("c").inc(1)
+    reg.gauge("hw").set(10.0)
+    reg.histogram("h").observe(2.0)
+    reg.merge({
+        "counters": {"c": 4, "new": 2},
+        "gauges": {"hw": 3.0},          # lower than ours: ours wins
+        "histograms": {"h": {"count": 2, "sum": 8.0, "min": 1.0,
+                             "max": 7.0}},
+    })
+    snap = reg.snapshot()
+    assert snap["counters"]["c"] == 5
+    assert snap["counters"]["new"] == 2
+    assert snap["gauges"]["hw"] == 10.0
+    assert snap["histograms"]["h"]["count"] == 3
+    assert snap["histograms"]["h"]["min"] == 1.0
+    assert snap["histograms"]["h"]["max"] == 7.0
+
+
+def test_format_snapshot_renders_rows_and_titles():
+    reg = Registry()
+    reg.counter("events").inc(12)
+    text = format_snapshot(reg.snapshot())
+    assert "metrics:" in text and "events" in text and "12" in text
+    untitled = format_snapshot(reg.snapshot(), title=None)
+    assert "metrics:" not in untitled and "events" in untitled
+    assert "no instruments" in format_snapshot(Registry().snapshot())
+
+
+# ----------------------------------------------------------------------
+# spans and the JSONL round-trip
+# ----------------------------------------------------------------------
+
+
+def test_span_is_free_noop_while_disabled(tmp_path):
+    assert obs_trace.current_tracer() is None
+    with obs_trace.span("anything", answer=42) as s:
+        s.set(more=1)  # must not raise
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_span_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs_trace.configure(path)
+    with obs_trace.span("outer", cat="test", level=1):
+        with obs_trace.span("inner", cat="test"):
+            pass
+    obs_trace.shutdown()
+    events = obs_trace.read_trace(path)
+    assert [e["name"] for e in events] == ["inner", "outer"]  # exit order
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["cat"] == "test"
+        assert event["dur"] >= 0 and event["ts"] > 0
+    inner, outer = events
+    assert inner["args"]["parent"] == outer["args"]["id"]
+    assert outer["args"]["level"] == 1
+    assert obs_trace.validate_nesting(events) == []
+
+
+def test_span_records_sim_clock_durations(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs_trace.configure(path)
+    sim = Simulator()
+    sim.schedule_at(1.5, lambda: None)
+    with obs_trace.span("sim.run", sim_clock=lambda: sim.now):
+        sim.run()
+    obs_trace.shutdown()
+    (event,) = obs_trace.read_trace(path)
+    assert event["args"]["sim_t0_s"] == 0.0
+    assert event["args"]["sim_dur_s"] == pytest.approx(1.5)
+
+
+def test_span_records_error_class(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs_trace.configure(path)
+    with pytest.raises(RuntimeError):
+        with obs_trace.span("boom"):
+            raise RuntimeError("no")
+    obs_trace.shutdown()
+    (event,) = obs_trace.read_trace(path)
+    assert event["args"]["error"] == "RuntimeError"
+
+
+def test_configure_is_idempotent_per_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = obs_trace.configure(path)
+    assert obs_trace.configure(path) is tracer
+    assert obs_trace.trace_path() == str(path)
+
+
+def test_read_trace_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\nnot json at all\n')
+    with pytest.raises(ValueError, match="not JSON"):
+        obs_trace.read_trace(path)
+
+
+def test_validate_nesting_flags_partial_overlap():
+    events = [
+        {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0,
+         "dur": 10.0, "args": {}},
+        {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 5.0,
+         "dur": 10.0, "args": {}},
+    ]
+    problems = obs_trace.validate_nesting(events)
+    assert problems and "overlaps" in problems[0]
+
+
+def test_validate_nesting_flags_escaped_child():
+    events = [
+        {"name": "parent", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0,
+         "dur": 5.0, "args": {"id": "1:1"}},
+        {"name": "child", "ph": "X", "pid": 1, "tid": 2, "ts": 4.0,
+         "dur": 8.0, "args": {"id": "1:2", "parent": "1:1"}},
+    ]
+    problems = obs_trace.validate_nesting(events)
+    assert problems and "not inside" in problems[0]
+
+
+def test_chrome_export_wraps_trace_events(tmp_path):
+    src = tmp_path / "trace.jsonl"
+    obs_trace.configure(src)
+    with obs_trace.span("one"):
+        pass
+    obs_trace.shutdown()
+    dst = tmp_path / "trace.json"
+    assert obs_trace.chrome_export(src, dst) == 1
+    doc = json.loads(dst.read_text())
+    assert [e["name"] for e in doc["traceEvents"]] == ["one"]
+
+
+# ----------------------------------------------------------------------
+# engine instrumentation
+# ----------------------------------------------------------------------
+
+
+def test_simulator_probe_sees_every_edge():
+    sim = Simulator()
+    edges = []
+    sim.on_event = lambda kind, t, handle: edges.append((kind, t))
+    handle = sim.schedule_at(2.0, lambda: None)
+    sim.schedule_at(1.0, lambda: None)
+    sim.cancel(handle)
+    sim.run()
+    assert edges == [("schedule", 2.0), ("schedule", 1.0),
+                     ("cancel", 2.0), ("fire", 1.0)]
+
+
+def test_simulator_stats_counters():
+    sim = Simulator()
+    handles = [sim.schedule_at(float(i), lambda: None) for i in range(5)]
+    sim.cancel(handles[3])
+    sim.run()
+    stats = sim.stats()
+    assert stats["events_scheduled"] == 5
+    assert stats["events_fired"] == 4
+    assert stats["events_cancelled"] == 1
+    assert stats["queue_high_water"] == 5
+    assert stats["sim_time_s"] == 4.0
+
+
+def test_simulator_publishes_metrics_once_per_run():
+    before = obs_metrics.snapshot()
+    sim = Simulator()
+    sim.schedule_at(3.0, lambda: None)
+    sim.run()
+    sim.run()  # second run: nothing new moved, nothing double-counted
+    moved = delta(before, obs_metrics.snapshot())
+    assert moved["counters"]["netsim.events_scheduled"] == 1
+    assert moved["counters"]["netsim.events_fired"] == 1
+    assert moved["counters"]["netsim.sim_time_s"] == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# integration: traced campaign, serial and pool
+# ----------------------------------------------------------------------
+
+
+def _grid() -> Campaign:
+    return Campaign.grid(["FaceTime"], [2], duration_s=2.0, repeats=2)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_traced_campaign_emits_nested_spans_and_cell_metrics(tmp_path, jobs):
+    # Forget instruments accumulated by earlier tests: the high-water
+    # gauge only lands in a cell's delta when the cell moves it, which a
+    # previous sweep in this process (or a forked worker's inherited
+    # registry) would mask.
+    obs_metrics.REGISTRY.reset()
+    obs_trace.configure(tmp_path / "trace.jsonl")
+    manifest = RunManifest()
+    campaign = _grid()
+    campaign.run(jobs=jobs, manifest=manifest)
+    obs_trace.shutdown()
+
+    events = obs_trace.read_trace(tmp_path / "trace.jsonl")
+    names = [e["name"] for e in events]
+    assert "campaign.run" in names and "runner.run" in names
+    assert sum(1 for n in names if n.startswith("cell.")) == 2
+    assert sum(1 for n in names if n == "vca.session.run") == 2
+    assert obs_trace.validate_nesting(events) == []
+    for event in events:
+        if event["name"].startswith(("cell.", "vca.session.")):
+            assert event["args"]["sim_dur_s"] == pytest.approx(2.0)
+        assert event["dur"] > 0
+
+    assert len(campaign.records) == 2
+    for cell in manifest.cells:
+        assert cell.sim_time_s == pytest.approx(2.0)
+        assert cell.metrics is not None
+        counters = cell.metrics["counters"]
+        assert counters["netsim.sim_time_s"] == pytest.approx(2.0)
+        assert counters["vca.sessions_run"] == 1
+        assert any(name.startswith("vca.rx.packets.") for name in counters)
+    # With the registry freshly reset, the first cell on either path
+    # must move (and therefore record) the queue high-water gauge.
+    assert any(
+        (c.metrics["gauges"].get("netsim.queue_high_water") or 0) > 0
+        for c in manifest.cells
+    )
+
+
+def test_pool_run_merges_worker_metrics_into_parent_registry():
+    before = obs_metrics.snapshot()
+    _grid().run(jobs=2)
+    moved = delta(before, obs_metrics.snapshot())
+    # Two sessions ran in worker processes; their counters must still
+    # land in the parent registry (shipped back with each result).
+    assert moved["counters"]["vca.sessions_run"] == 2
+    assert moved["counters"]["netsim.sim_time_s"] == pytest.approx(4.0)
+
+
+def test_manifest_round_trips_cell_metrics(tmp_path):
+    manifest = RunManifest()
+    _grid().run(jobs=1, manifest=manifest)
+    path = tmp_path / "manifest.json"
+    manifest.write(path)
+    loaded = RunManifest.read(path)
+    assert loaded.total_sim_time_s() == pytest.approx(4.0)
+    for cell in loaded.cells:
+        assert cell.metrics["counters"]["vca.sessions_run"] == 1
