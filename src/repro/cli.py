@@ -193,9 +193,79 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--users", nargs="+", type=int, default=[2, 3],
                            help="user counts to sweep")
             p.add_argument("--csv", help="export records to this path")
+            p.add_argument("--distributed", action="store_true",
+                           help="publish cells to a shared store and let "
+                                "'repro worker' processes execute them "
+                                "(requires --store)")
+            p.add_argument("--store", metavar="DIR",
+                           help="shared store directory for distributed "
+                                "execution (implies --distributed)")
+            p.add_argument("--worker-wait", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="grace period to wait for worker heartbeats "
+                                "before the coordinator executes cells "
+                                "itself")
         if name in ("campaign", "resilience", "reproduce"):
             _add_sweep(p)
+    _add_worker_parser(sub)
+    _add_cache_parser(sub)
     return parser
+
+
+def _add_worker_parser(sub) -> None:
+    p = sub.add_parser(
+        "worker",
+        help="join a distributed campaign as a pull-based worker",
+    )
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="shared store directory published by "
+                        "'repro campaign --distributed --store DIR'")
+    p.add_argument("--id", default=None,
+                   help="worker id (default: host-pid-nonce)")
+    p.add_argument("--poll", type=float, default=0.25, metavar="SECONDS",
+                   help="sleep between claim attempts when idle")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   metavar="SECONDS", help="seconds between liveness beacons")
+    p.add_argument("--lease-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="owner-silence span after which a lease is stolen "
+                        "(default: 3x the heartbeat interval)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="self-watchdog: a cell running past this stops the "
+                        "worker's heartbeat so its lease gets taken over")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="transient-failure retries per cell")
+    p.add_argument("--join-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="how long to wait for a campaign to be published")
+    p.add_argument("--idle-exit", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit after this much continuous idleness")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="commit at most this many cells, then exit")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+
+
+def _add_cache_parser(sub) -> None:
+    parser = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the on-disk result cache",
+    )
+    cache_sub = parser.add_subparsers(dest="cache_command", required=True)
+    stats_p = cache_sub.add_parser(
+        "stats", help="entry count, bytes on disk, orphaned temp files")
+    gc_p = cache_sub.add_parser(
+        "gc", help="sweep orphaned temp files and evict corrupt entries")
+    for p in (stats_p, gc_p):
+        p.add_argument("--cache-dir",
+                       help="cache root (default: REPRO_CACHE_DIR or "
+                            "~/.cache/repro-sweeps)")
+    gc_p.add_argument("--orphan-ttl", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="only sweep temp files older than this "
+                           "(default 0: sweep all)")
 
 
 def _cmd_table1(args) -> int:
@@ -350,6 +420,10 @@ def _cmd_campaign(args) -> int:
     from repro.core.errors import CampaignInterrupted
     from repro.core.journal import RunJournal
 
+    if args.distributed and not args.store:
+        raise SystemExit("error: --distributed needs --store DIR "
+                         "(a directory every worker can reach)")
+    store = args.store
     campaign = Campaign.grid(args.vcas, args.users,
                              duration_s=args.duration, repeats=args.repeats,
                              base_seed=args.seed)
@@ -363,8 +437,14 @@ def _cmd_campaign(args) -> int:
                          jobs=args.jobs, cache=_sweep_cache(args),
                          timeout=args.cell_timeout,
                          max_retries=args.max_retries,
-                         journal=journal, resume=args.resume)
+                         journal=journal, resume=args.resume,
+                         store=store, worker_wait_s=args.worker_wait)
     except CampaignInterrupted:
+        if store:
+            print(f"\ninterrupted — committed cells live in {store}; "
+                  f"re-run the same command (same --store) to resume, "
+                  f"workers can keep running meanwhile", file=sys.stderr)
+            return 130
         return _interrupted_exit(journal_path)
     finally:
         journal.close()
@@ -378,6 +458,15 @@ def _cmd_campaign(args) -> int:
           f"{stats.resumed} resumed, {stats.retries} retries, "
           f"{stats.timeouts} timeouts "
           f"in {stats.elapsed_s:.1f} s with jobs={args.jobs}")
+    dist = campaign.last_dist
+    if dist is not None:
+        workers = (", ".join(dist["workers"])
+                   or "none (coordinator ran everything)")
+        print(f"distributed: workers={workers}; "
+              f"{dist['takeovers']} takeover(s), "
+              f"{dist['fenced_zombies']} fenced zombie(s), "
+              f"{dist['resumed']} resumed, "
+              f"{dist['inline_cells']} coordinator-inline")
     _print_manifest(campaign.last_manifest, args)
     _report_obs(args)
     if args.csv:
@@ -448,6 +537,65 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.core.dist import QueueError, WorkerAgent
+    from repro.core.errors import CampaignInterrupted
+
+    progress = None if args.quiet else (lambda line: print(f"  {line}"))
+    agent = WorkerAgent(
+        args.store, args.id,
+        poll_s=args.poll,
+        heartbeat_interval_s=args.heartbeat_interval,
+        lease_timeout_s=args.lease_timeout,
+        cell_timeout_s=args.cell_timeout,
+        retries=args.max_retries,
+        join_timeout_s=args.join_timeout,
+        idle_exit_s=args.idle_exit,
+        max_cells=args.max_cells,
+        progress=progress,
+    )
+    print(f"worker {agent.worker} joining store {args.store}")
+    try:
+        with _graceful_interrupts():
+            stats = agent.run()
+    except CampaignInterrupted:
+        print("\nworker interrupted before joining a campaign",
+              file=sys.stderr)
+        return 130
+    except QueueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker {agent.worker}: {stats.summary_line()}")
+    if stats.interrupted:
+        print("interrupted — current lease released; the campaign resumes "
+              "from the store's commit markers (just restart a worker)",
+              file=sys.stderr)
+        return 130
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.core.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir, sweep_orphans=False)
+    if args.cache_command == "stats":
+        disk = cache.disk_stats()
+        print(f"cache root : {cache.root}")
+        print(f"entries    : {disk['entries']}")
+        print(f"bytes      : {disk['bytes']} "
+              f"({disk['bytes'] / 1e6:.2f} MB)")
+        print(f"orphans    : {disk['orphans']} stale temp file(s)")
+        print("(per-run hit rates are printed by the sweep commands "
+              "themselves)")
+        return 0
+    report = cache.gc(orphan_ttl_s=args.orphan_ttl)
+    print(f"cache root : {cache.root}")
+    print(f"checked    : {report['checked']} entries")
+    print(f"evicted    : {report['evicted']} corrupt/foreign entries")
+    print(f"orphans    : {report['orphans']} temp file(s) swept")
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "protocols": _cmd_protocols,
@@ -462,6 +610,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "report": _cmd_report,
     "reproduce": _cmd_report,
+    "worker": _cmd_worker,
+    "cache": _cmd_cache,
 }
 
 

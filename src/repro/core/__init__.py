@@ -30,6 +30,13 @@ from repro.core.journal import (
     run_fingerprint,
 )
 from repro.core.parallel import CellTask, RunStats, TaskRunner, run_tasks
+from repro.core.dist import (
+    Coordinator,
+    QueueError,
+    StoreLayout,
+    WorkerAgent,
+    WorkQueue,
+)
 
 __all__ = [
     "Testbed",
@@ -62,4 +69,9 @@ __all__ = [
     "RunStats",
     "TaskRunner",
     "run_tasks",
+    "Coordinator",
+    "QueueError",
+    "StoreLayout",
+    "WorkerAgent",
+    "WorkQueue",
 ]

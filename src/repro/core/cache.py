@@ -15,16 +15,29 @@ Entries live one-per-file under a root directory (``REPRO_CACHE_DIR``
 environment variable, else ``~/.cache/repro-sweeps``) and each file
 carries an embedded checksum of its payload, so a corrupted or truncated
 entry is detected and silently recomputed instead of crashing the sweep.
+
+The cache doubles as the **shared artifact store** of distributed
+campaigns (:mod:`repro.core.dist`): many worker processes — possibly on
+many hosts — write concurrently.  Writes stay safe because every entry
+is written to a writer-unique temp file and renamed into place
+atomically, duplicate writers of the same key produce identical bytes
+(cells are deterministic), and corrupt entries are evicted on read.  A
+writer killed between temp write and rename leaks an orphan ``*.tmp.*``
+file; opening a cache sweeps orphans older than
+:data:`ORPHAN_TTL_S` so crashed workers cannot fill the store, and
+:meth:`ResultCache.gc` does a full validate-and-sweep on demand.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
-from typing import Any, Callable, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -37,7 +50,15 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Bump to invalidate every existing cache entry wholesale.
 CACHE_FORMAT_VERSION = 1
 
+#: Temp files older than this are crash leftovers, not live writes:
+#: a healthy ``put`` holds its temp file for milliseconds.
+ORPHAN_TTL_S = 300.0
+
 _CODE_FINGERPRINT: Optional[str] = None
+
+#: Per-process uniquifier for temp names: two same-pid writers on
+#: different hosts (or two threads in one process) must never share one.
+_TMP_COUNTER = itertools.count()
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -171,6 +192,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    orphans_swept: int = 0
 
     @property
     def lookups(self) -> int:
@@ -182,11 +204,26 @@ class CacheStats:
 
 
 class ResultCache:
-    """Content-addressed store of JSON-serializable cell results."""
+    """Content-addressed store of JSON-serializable cell results.
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+    Args:
+        root: Store directory (default: :func:`default_cache_root`).
+        sweep_orphans: Sweep stale ``*.tmp.*`` files on open.  A worker
+            killed between temp-file write and rename leaks its temp
+            file forever otherwise — ``clear()`` was the only janitor.
+        orphan_ttl_s: Age before a temp file counts as an orphan.  The
+            default leaves live concurrent writers (who hold a temp file
+            for milliseconds) a wide margin.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None, *,
+                 sweep_orphans: bool = True,
+                 orphan_ttl_s: float = ORPHAN_TTL_S) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.stats = CacheStats()
+        self.orphan_ttl_s = orphan_ttl_s
+        if sweep_orphans:
+            self.stats.orphans_swept += self.sweep_orphans()
 
     def path_for(self, key: str) -> Path:
         """Where one entry lives (two-level fan-out like git objects)."""
@@ -232,7 +269,13 @@ class ResultCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"key": key, "checksum": _digest(payload), "payload": payload}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        # The pid alone is not unique under the shared-store contract:
+        # workers on two hosts can share a pid, and colliding temp names
+        # would interleave writes or race the rename.
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}-{next(_TMP_COUNTER)}-"
+            f"{os.urandom(4).hex()}"
+        )
         try:
             with open(tmp, "w") as handle:
                 handle.write(json.dumps(entry, sort_keys=True))
@@ -243,6 +286,69 @@ class ResultCache:
         finally:
             tmp.unlink(missing_ok=True)
         self.stats.stores += 1
+
+    def sweep_orphans(self, ttl_s: Optional[float] = None) -> int:
+        """Delete stale ``*.tmp.*`` leftovers of crashed writers.
+
+        Only temp files older than ``ttl_s`` (default: the instance
+        TTL) go — a concurrent writer's live temp file is seconds old at
+        most and survives.  Returns the number removed.
+        """
+        if not self.root.exists():
+            return 0
+        ttl = self.orphan_ttl_s if ttl_s is None else ttl_s
+        cutoff = time.time() - ttl
+        removed = 0
+        for path in self.root.rglob("*.tmp.*"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                # Raced another sweeper or the writer's own cleanup.
+                continue
+        return removed
+
+    def gc(self, orphan_ttl_s: float = 0.0) -> Dict[str, int]:
+        """Validate every entry, evict corruption, sweep all orphans.
+
+        Unlike ``get``-time eviction (which only checks keys a sweep
+        asks for), this walks the whole store — the maintenance pass
+        behind ``repro cache gc`` for a long-lived shared artifact
+        store.  Returns counts: entries checked/evicted/orphans removed.
+        """
+        checked = evicted = 0
+        if self.root.exists():
+            for path in sorted(self.root.rglob("*.json")):
+                checked += 1
+                try:
+                    entry = json.loads(path.read_text())
+                    ok = (isinstance(entry, dict)
+                          and entry.get("key") == path.stem
+                          and entry.get("checksum")
+                          == _digest(entry.get("payload")))
+                except (OSError, ValueError):
+                    ok = False
+                if not ok:
+                    path.unlink(missing_ok=True)
+                    evicted += 1
+        orphans = self.sweep_orphans(ttl_s=orphan_ttl_s)
+        self.stats.corrupt += evicted
+        self.stats.orphans_swept += orphans
+        return {"checked": checked, "evicted": evicted, "orphans": orphans}
+
+    def disk_stats(self) -> Dict[str, int]:
+        """What is on disk right now: entries, bytes, orphan temp files."""
+        entries = size = orphans = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+            orphans = sum(1 for _ in self.root.rglob("*.tmp.*"))
+        return {"entries": entries, "bytes": size, "orphans": orphans}
 
     def clear(self) -> int:
         """Delete every entry (and orphan temp files); counts entries."""

@@ -13,6 +13,13 @@ processes (``run(jobs=N)``) and replays from the content-addressed result
 cache (:mod:`repro.core.cache`) without changing a byte of the export:
 serial, parallel and cached runs are equivalent by construction, and the
 equivalence test suite holds them to it.
+
+With ``run(store=...)`` the same grid goes **distributed**: the campaign
+is published into a shared store (:mod:`repro.core.dist`) and executed
+by however many ``repro worker`` processes — on this host or others —
+are pointed at it, with lease-based work stealing, heartbeat failure
+detection and exactly-once commits.  The records are still identical to
+a serial run; the chaos suite compares the CSVs byte for byte.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro import calibration
 from repro.analysis.protocol import classify_capture
 from repro.analysis.throughput import throughput_windows_mbps
 from repro.core.cache import ResultCache, default_cache_root
+from repro.core.dist.coordinator import Coordinator
 from repro.core.errors import CellFailure, RetryPolicy
 from repro.core.journal import RunJournal, RunManifest, run_fingerprint
 from repro.core.parallel import CellTask, RunStats, TaskRunner
@@ -154,6 +162,9 @@ class Campaign:
         self.skipped: List[CellFailure] = []
         self.last_run_stats: Optional[RunStats] = None
         self.last_manifest: Optional[RunManifest] = None
+        #: Distributed-run summary (workers, takeovers, fenced zombies)
+        #: from the last ``run(store=...)``; None after local runs.
+        self.last_dist: Optional[Dict[str, object]] = None
 
     @classmethod
     def grid(
@@ -228,6 +239,8 @@ class Campaign:
         resume: bool = False,
         manifest: Optional[RunManifest] = None,
         failfast: bool = True,
+        store: Optional[Union[str, Path]] = None,
+        worker_wait_s: float = 10.0,
     ) -> List[CampaignRecord]:
         """Execute every cell; returns (and stores) the records.
 
@@ -240,7 +253,23 @@ class Campaign:
         and any CSV exported from them, are identical to a serial cold
         run.  Quarantined cells are excluded from :attr:`records` and
         listed in :attr:`skipped` and the manifest.
+
+        ``store`` switches to **distributed** execution: cells are
+        published into the shared store and executed by any ``repro
+        worker`` processes pointed at it (the coordinator falls back to
+        the local pool when none show up within ``worker_wait_s``).
+        The store supplies its own shared cache and resume semantics
+        (commit markers), so ``cache`` and ``resume`` are ignored on
+        this path; ``journal`` still receives the merged distributed
+        checkpoint.
         """
+        if store is not None:
+            return self._run_distributed(
+                store, progress=progress, jobs=jobs, timeout=timeout,
+                max_retries=max_retries, journal=journal,
+                manifest=manifest, failfast=failfast,
+                worker_wait_s=worker_wait_s,
+            )
         policy = (RetryPolicy(max_retries=max_retries)
                   if max_retries is not None else None)
         runner = TaskRunner(jobs=jobs, cache=cache, progress=progress,
@@ -254,6 +283,37 @@ class Campaign:
         self.skipped = [r for r in results if isinstance(r, CellFailure)]
         self.last_run_stats = runner.stats
         self.last_manifest = runner.manifest
+        self.last_dist = None
+        return self.records
+
+    def _run_distributed(
+        self,
+        store: Union[str, Path],
+        *,
+        progress: Optional[Callable[[str], None]],
+        jobs: int,
+        timeout: Optional[float],
+        max_retries: Optional[int],
+        journal: Optional[RunJournal],
+        manifest: Optional[RunManifest],
+        failfast: bool,
+        worker_wait_s: float,
+    ) -> List[CampaignRecord]:
+        coordinator = Coordinator(
+            store, jobs=jobs, worker_wait_s=worker_wait_s, timeout=timeout,
+            max_retries=max_retries if max_retries is not None else 1,
+            progress=progress,
+        )
+        with obs_trace.span("campaign.run", cat="campaign",
+                            cells=len(self.cells), jobs=jobs,
+                            distributed=True):
+            results = coordinator.run(self.tasks(), journal=journal,
+                                      manifest=manifest, failfast=failfast)
+        self.records = [r for r in results if not isinstance(r, CellFailure)]
+        self.skipped = [r for r in results if isinstance(r, CellFailure)]
+        self.last_run_stats = coordinator.stats
+        self.last_manifest = coordinator.manifest
+        self.last_dist = coordinator.dist
         return self.records
 
     def _run_one(self, cell: CampaignCell, repeat: int,

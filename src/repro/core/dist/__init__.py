@@ -1,0 +1,64 @@
+"""Distributed multi-host campaign execution.
+
+One shared directory (local disk or NFS) is the entire control plane:
+a lease-based work-stealing queue (:mod:`~repro.core.dist.queue`),
+heartbeat liveness beacons (:mod:`~repro.core.dist.heartbeat`), the
+content-addressed result cache as shared artifact store, per-worker
+journals/manifests merged deterministically
+(:mod:`~repro.core.dist.merge`), and nothing else — no server, no
+locks, no coordination service.
+
+Entry points: :class:`~repro.core.dist.coordinator.Coordinator` runs a
+campaign against a store (``repro campaign --distributed``);
+:class:`~repro.core.dist.worker.WorkerAgent` works one
+(``repro worker``).  Exactly-once cell effects under worker crashes,
+freezes and partitions are enforced by monotonic fencing tokens — see
+:mod:`~repro.core.dist.queue` for the protocol.
+"""
+
+from repro.core.dist.coordinator import Coordinator
+from repro.core.dist.heartbeat import (
+    DEFAULT_INTERVAL_S,
+    STALE_FACTOR,
+    HeartbeatWriter,
+    live_workers,
+    read_beacons,
+)
+from repro.core.dist.merge import (
+    merge_journal_entries,
+    merge_journals,
+    merge_manifests,
+    read_worker_manifests,
+)
+from repro.core.dist.queue import (
+    QUEUE_FORMAT_VERSION,
+    Lease,
+    QueueError,
+    TaskSpec,
+    WorkQueue,
+)
+from repro.core.dist.store import StoreLayout, layout, worker_id
+from repro.core.dist.worker import WorkerAgent, WorkerStats
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_INTERVAL_S",
+    "STALE_FACTOR",
+    "HeartbeatWriter",
+    "live_workers",
+    "read_beacons",
+    "merge_journal_entries",
+    "merge_journals",
+    "merge_manifests",
+    "read_worker_manifests",
+    "QUEUE_FORMAT_VERSION",
+    "Lease",
+    "QueueError",
+    "TaskSpec",
+    "WorkQueue",
+    "StoreLayout",
+    "layout",
+    "worker_id",
+    "WorkerAgent",
+    "WorkerStats",
+]

@@ -1,0 +1,127 @@
+"""Deterministic merge of per-worker journals and manifests.
+
+Every worker checkpoints into its own ``journals/<worker>.jsonl`` and
+audits into its own ``manifests/<worker>.json`` — concurrent appends to
+one shared file would interleave.  After the campaign, the coordinator
+folds them into a single account.  Both merges are engineered to be
+**order-independent** (commutative and associative) and **idempotent**,
+so it never matters which workers' files arrive first, whether a merge
+is re-run after a crash, or whether partial merges are merged again:
+
+- Manifest merge is a set union keyed by each outcome's canonical JSON
+  form, emitted in sorted order.  Two workers that both report the same
+  cell (a fenced attempt next to the committed one) both appear — the
+  audit keeps every attempt, deduplicating only true duplicates.
+- Journal merge keeps one entry per cell key, chosen by a total order:
+  completed entries (they carry replayable payloads) beat failed ones,
+  ties fall to the lexicographically smallest canonical form.  Cells
+  are deterministic, so two completed entries for one key hold
+  byte-identical payloads and the tiebreak is cosmetic.
+
+The merged journal is a plain :class:`~repro.core.journal.RunJournal`
+file keyed by the same content-addressed keys, so a later
+*single-process* run can ``--resume`` from a distributed campaign's
+merged checkpoint unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.core.journal import (
+    STATUS_CACHED,
+    STATUS_OK,
+    CellOutcome,
+    RunJournal,
+    RunManifest,
+)
+
+#: Journal statuses whose entries carry a replayable payload.
+_COMPLETED = (STATUS_OK, STATUS_CACHED)
+
+
+# ---------------------------------------------------------------------------
+# manifests
+# ---------------------------------------------------------------------------
+
+def merge_manifests(manifests: Iterable[RunManifest]) -> RunManifest:
+    """One manifest holding every distinct outcome, canonically ordered."""
+    seen: Dict[str, CellOutcome] = {}
+    for manifest in manifests:
+        for cell in manifest.cells:
+            seen[json.dumps(cell.as_dict(), sort_keys=True)] = cell
+    merged = RunManifest()
+    for form in sorted(seen):
+        merged.record(seen[form])
+    return merged
+
+
+def read_worker_manifests(directory: Union[str, Path]) -> List[RunManifest]:
+    """Every parseable per-worker manifest under ``directory``."""
+    manifests: List[RunManifest] = []
+    directory = Path(directory)
+    if not directory.exists():
+        return manifests
+    for path in sorted(directory.glob("*.json")):
+        try:
+            manifests.append(RunManifest.read(path))
+        except (OSError, ValueError, KeyError):
+            continue  # a worker died mid-write; its cells are in done/
+    return manifests
+
+
+# ---------------------------------------------------------------------------
+# journals
+# ---------------------------------------------------------------------------
+
+def _entry_rank(entry: Dict[str, Any]) -> Tuple[int, str]:
+    """Total order: completed first, then canonical form."""
+    completed = 0 if entry.get("status") in _COMPLETED else 1
+    return completed, json.dumps(entry, sort_keys=True)
+
+
+def merge_journal_entries(
+    entry_maps: Iterable[Dict[str, Dict[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """Fold per-worker ``key -> entry`` maps into one, deterministically.
+
+    Taking the minimum of a total order per key makes the fold
+    commutative, associative, and idempotent — the property suite holds
+    it to all three.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for entries in entry_maps:
+        for key, entry in entries.items():
+            current = merged.get(key)
+            if current is None or _entry_rank(entry) < _entry_rank(current):
+                merged[key] = entry
+    return merged
+
+
+def merge_journals(paths: Iterable[Union[str, Path]],
+                   out_path: Union[str, Path]) -> RunJournal:
+    """Merge per-worker journal files into one resumable journal."""
+    maps = []
+    for path in paths:
+        journal = RunJournal(path)
+        maps.append(journal.load())
+    merged = merge_journal_entries(maps)
+    out = RunJournal(out_path)
+    out.reset()
+    try:
+        for key in sorted(merged):
+            entry = merged[key]
+            out.append(
+                key=key,
+                name=str(entry.get("name", "")),
+                status=str(entry.get("status", "")),
+                payload=entry.get("payload"),
+                attempts=int(entry.get("attempts", 1)),
+                duration_s=float(entry.get("duration_s", 0.0)),
+                error=entry.get("error"),
+            )
+    finally:
+        out.close()
+    return out

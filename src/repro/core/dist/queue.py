@@ -1,0 +1,442 @@
+"""Lease-based work-stealing cell queue over a shared directory.
+
+The queue is four directories and three atomic renames:
+
+- **publish** — the coordinator writes one spec file per cell into
+  ``pending/`` (skipping keys that already have a commit marker from an
+  earlier run, which is what makes distributed campaigns resumable).
+- **claim** — a worker renames ``pending/<key>.json`` to
+  ``active/<key>@1@<worker>.json``.  ``os.rename`` of one source path
+  has exactly one winner per POSIX, so two workers grabbing the same
+  cell costs the loser an ``ENOENT`` and a move to the next file — no
+  locks, no server.
+- **steal** — when ``pending/`` is empty, workers scan ``active/`` for
+  leases whose owner's heartbeat has gone stale and rename the lease
+  onto themselves with the **fencing token incremented**:
+  ``<key>@2@<thief>``.  Same single-winner rename; a lease bounces
+  between takeovers with a strictly increasing token.
+- **commit** — the lease holder writes the outcome to
+  ``outcomes/<key>@<token>.json`` and then renames its *own* lease file
+  to ``done/<key>@<token>.json``.  A zombie — SIGSTOPped past the
+  heartbeat deadline, or partitioned, and since stolen from — no longer
+  owns its lease file, so its commit rename fails and the result is
+  **fenced**: at most one commit marker ever exists per key, which is
+  the exactly-once guarantee the chaos suite asserts.
+
+Because every cell is a deterministic pure function of its spec, the
+*work* may legally run twice (takeover after a false death verdict);
+only the *commit* is unique.  Duplicate artifact-store writes are
+byte-identical and therefore harmless.
+
+Specs carry the pickled :class:`~repro.core.parallel.CellTask` (cells
+reference module-level functions, so they unpickle anywhere the same
+code is installed; the campaign file pins the code fingerprint and
+workers refuse to join a store built from different sources).  The
+store directory is operator-controlled infrastructure — the same trust
+boundary as the existing on-disk cache and journal.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.dist import heartbeat as hb
+from repro.core.dist.store import (
+    SEP,
+    StoreLayout,
+    atomic_write_json,
+    layout as make_layout,
+    read_json,
+)
+from repro.core.parallel import CellTask
+from repro.obs import metrics as obs_metrics
+
+#: Bump to orphan every existing queue wholesale.
+QUEUE_FORMAT_VERSION = 1
+
+
+class QueueError(RuntimeError):
+    """The shared queue is missing, incompatible, or corrupt."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One published cell: its content-addressed key and its task."""
+
+    key: str
+    name: str
+    task: CellTask
+
+    def to_json(self) -> Dict[str, Any]:
+        blob = base64.b64encode(pickle.dumps(self.task)).decode("ascii")
+        return {"key": self.key, "name": self.name, "task_b64": blob}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "TaskSpec":
+        task = pickle.loads(base64.b64decode(data["task_b64"]))
+        return cls(key=data["key"], name=data["name"], task=task)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed cell: who holds it and at which fencing token."""
+
+    key: str
+    token: int
+    worker: str
+    path: Path
+    spec: TaskSpec
+
+
+def _lease_name(key: str, token: int, worker: str) -> str:
+    return f"{key}{SEP}{token}{SEP}{worker}.json"
+
+
+def _parse_lease_name(name: str) -> Optional[Tuple[str, int, str]]:
+    """(key, token, worker) from an active-file name, None if foreign."""
+    if not name.endswith(".json"):
+        return None
+    parts = name[:-len(".json")].split(SEP, 2)
+    if len(parts) != 3:
+        return None
+    key, token_text, worker = parts
+    try:
+        return key, int(token_text), worker
+    except ValueError:
+        return None
+
+
+class WorkQueue:
+    """One campaign's cell queue inside a shared store."""
+
+    def __init__(self, root: Union[str, Path, StoreLayout],
+                 worker: str = "coordinator") -> None:
+        self.layout = (root if isinstance(root, StoreLayout)
+                       else make_layout(root))
+        self.worker = worker
+        self._campaign: Optional[Dict[str, Any]] = None
+        self._claims = obs_metrics.counter("dist.claims")
+        self._claim_races = obs_metrics.counter("dist.claim_races")
+        self._steals = obs_metrics.counter("dist.steals")
+        self._commits = obs_metrics.counter("dist.commits")
+        self._fenced = obs_metrics.counter("dist.fenced")
+        self._releases = obs_metrics.counter("dist.releases")
+
+    # ------------------------------------------------------------------
+    # coordinator side: publish
+    # ------------------------------------------------------------------
+
+    def publish(self, specs: Sequence[TaskSpec], fingerprint: str,
+                code_fingerprint: str) -> Dict[str, int]:
+        """Make this campaign the store's current one; enqueue its cells.
+
+        A store already holding the *same* campaign (matching
+        fingerprint) keeps its commit markers — publishing becomes a
+        resume that enqueues only unfinished cells.  A different
+        fingerprint wipes the queue first: one store runs one campaign
+        at a time.
+        """
+        self.layout.create()
+        existing = read_json(self.layout.campaign_file)
+        if existing is not None and (
+            existing.get("fingerprint") != fingerprint
+            or existing.get("version") != QUEUE_FORMAT_VERSION
+        ):
+            self._wipe_queue()
+            existing = None
+        done = self.done_tokens()
+        held = {parsed[0] for parsed in self._active_leases()}
+        published = skipped = 0
+        for spec in specs:
+            if spec.key in done:
+                continue  # counted once, in already_done
+            target = self.layout.pending_dir / f"{spec.key}.json"
+            if spec.key in held or target.exists():
+                skipped += 1
+                continue
+            atomic_write_json(target, spec.to_json())
+            published += 1
+        self._campaign = {
+            "version": QUEUE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "code": code_fingerprint,
+            "total": len(specs),
+            "created": time.time(),
+        }
+        atomic_write_json(self.layout.campaign_file, self._campaign)
+        return {"published": published, "already_done": len(done),
+                "skipped": skipped}
+
+    def _wipe_queue(self) -> None:
+        for directory in (self.layout.pending_dir, self.layout.active_dir,
+                          self.layout.outcomes_dir, self.layout.done_dir):
+            if directory.exists():
+                for path in directory.iterdir():
+                    path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def campaign(self, refresh: bool = False) -> Optional[Dict[str, Any]]:
+        """The published campaign descriptor (None before publish)."""
+        if self._campaign is None or refresh:
+            self._campaign = read_json(self.layout.campaign_file)
+        return self._campaign
+
+    def join(self, code_fingerprint: str) -> Dict[str, Any]:
+        """Validate this process against the published campaign.
+
+        Raises:
+            QueueError: No campaign published, incompatible queue
+                format, or the store was built from different sources —
+                running mismatched code would poison the shared cache
+                with results keyed to the coordinator's fingerprint.
+        """
+        campaign = self.campaign(refresh=True)
+        if campaign is None:
+            raise QueueError(
+                f"no campaign published in {self.layout.root} "
+                f"(start the coordinator first, or wait for it)"
+            )
+        if campaign.get("version") != QUEUE_FORMAT_VERSION:
+            raise QueueError(
+                f"queue format {campaign.get('version')!r} != "
+                f"{QUEUE_FORMAT_VERSION} (mixed repro versions?)"
+            )
+        if campaign.get("code") != code_fingerprint:
+            raise QueueError(
+                "code fingerprint mismatch: this worker's sources differ "
+                "from the coordinator's — refusing to join (results would "
+                "not be comparable)"
+            )
+        return campaign
+
+    # ------------------------------------------------------------------
+    # worker side: claim / steal / release / commit
+    # ------------------------------------------------------------------
+
+    def claim(self, stale_after_s: float = 3.0,
+              steal: bool = True) -> Optional[Lease]:
+        """Take one cell: pending first, then stale-lease takeover.
+
+        Returns ``None`` when nothing is claimable right now (queue
+        drained, or every remaining lease is held by a live worker).
+        """
+        lease = self._claim_pending()
+        if lease is None and steal:
+            lease = self._steal_stale(stale_after_s)
+        return lease
+
+    def _claim_pending(self) -> Optional[Lease]:
+        try:
+            names = sorted(p.name for p in self.layout.pending_dir.iterdir()
+                           if p.name.endswith(".json"))
+        except OSError:
+            return None
+        if not names:
+            return None
+        # Start each worker at a different point of the (sorted) list so
+        # a fleet does not fight over the same file on every claim.
+        offset = zlib.crc32(self.worker.encode()) % len(names)
+        for name in names[offset:] + names[:offset]:
+            key = name[:-len(".json")]
+            target = self.layout.active_dir / _lease_name(key, 1, self.worker)
+            try:
+                os.rename(self.layout.pending_dir / name, target)
+            except FileNotFoundError:
+                self._claim_races.inc()
+                continue  # lost the rename race; try the next cell
+            except OSError:
+                continue
+            spec = self._spec_at(target)
+            if spec is None:
+                continue
+            self._claims.inc()
+            return Lease(key=key, token=1, worker=self.worker, path=target,
+                         spec=spec)
+        return None
+
+    def _steal_stale(self, stale_after_s: float) -> Optional[Lease]:
+        for key, token, owner in self._active_leases():
+            if owner == self.worker:
+                continue
+            source = self.layout.active_dir / _lease_name(key, token, owner)
+            if not hb.is_stale(self.layout, owner, stale_after_s,
+                               lease_path=source):
+                continue
+            target = self.layout.active_dir / _lease_name(
+                key, token + 1, self.worker
+            )
+            try:
+                os.rename(source, target)
+            except FileNotFoundError:
+                continue  # the owner committed, released, or was re-stolen
+            except OSError:
+                continue
+            spec = self._spec_at(target)
+            if spec is None:
+                continue
+            self._steals.inc()
+            self._claims.inc()
+            return Lease(key=key, token=token + 1, worker=self.worker,
+                         path=target, spec=spec)
+        return None
+
+    def _spec_at(self, path: Path) -> Optional[TaskSpec]:
+        data = read_json(path)
+        if data is None:
+            return None
+        try:
+            return TaskSpec.from_json(data)
+        except Exception:  # noqa: BLE001 - corrupt spec: poisoned file
+            return None
+
+    def _active_leases(self) -> List[Tuple[str, int, str]]:
+        leases: List[Tuple[str, int, str]] = []
+        try:
+            names = sorted(p.name for p in self.layout.active_dir.iterdir())
+        except OSError:
+            return leases
+        for name in names:
+            parsed = _parse_lease_name(name)
+            if parsed is not None:
+                leases.append(parsed)
+        return leases
+
+    def release(self, lease: Lease) -> bool:
+        """Put a claimed cell back (graceful shutdown mid-queue).
+
+        False when the lease was already stolen — then it is someone
+        else's problem by definition, and nothing needs doing.
+        """
+        try:
+            os.rename(lease.path,
+                      self.layout.pending_dir / f"{lease.key}.json")
+        except FileNotFoundError:
+            return False
+        self._releases.inc()
+        return True
+
+    def commit(self, lease: Lease, outcome: Dict[str, Any]) -> bool:
+        """Publish a finished cell's outcome — exactly once per key.
+
+        The outcome file lands first (token-namespaced, conflict-free);
+        the rename of the lease file into ``done/`` is the fencing
+        point.  Returns False when fenced: the caller's lease was taken
+        over and a successor owns the cell now.
+        """
+        outcome = dict(outcome)
+        outcome.setdefault("key", lease.key)
+        outcome["token"] = lease.token
+        outcome["worker"] = lease.worker
+        atomic_write_json(
+            self.layout.outcomes_dir
+            / f"{lease.key}{SEP}{lease.token}.json",
+            outcome,
+        )
+        try:
+            os.rename(lease.path,
+                      self.layout.done_dir
+                      / f"{lease.key}{SEP}{lease.token}.json")
+        except FileNotFoundError:
+            self._fenced.inc()
+            return False
+        self._commits.inc()
+        return True
+
+    # ------------------------------------------------------------------
+    # progress / results
+    # ------------------------------------------------------------------
+
+    def done_tokens(self) -> Dict[str, int]:
+        """key -> committed fencing token, for every finished cell."""
+        tokens: Dict[str, int] = {}
+        try:
+            names = [p.name for p in self.layout.done_dir.iterdir()]
+        except OSError:
+            return tokens
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            parts = name[:-len(".json")].split(SEP)
+            if len(parts) != 2:
+                continue
+            try:
+                tokens[parts[0]] = int(parts[1])
+            except ValueError:
+                continue
+        return tokens
+
+    def outcome_for(self, key: str,
+                    token: Optional[int] = None) -> Optional[Dict[str, Any]]:
+        """The committed outcome of one cell (None when not done)."""
+        if token is None:
+            token = self.done_tokens().get(key)
+            if token is None:
+                return None
+        return read_json(
+            self.layout.outcomes_dir / f"{key}{SEP}{token}.json"
+        )
+
+    def zombie_outcomes(self) -> List[Dict[str, Any]]:
+        """Outcome files whose token lost the fencing race.
+
+        Forensic evidence that exactly-once did its job: each entry is a
+        finished computation that was *not* committed because its lease
+        had been taken over.
+        """
+        committed = self.done_tokens()
+        zombies: List[Dict[str, Any]] = []
+        try:
+            names = sorted(p.name for p in self.layout.outcomes_dir.iterdir())
+        except OSError:
+            return zombies
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            parts = name[:-len(".json")].split(SEP)
+            if len(parts) != 2:
+                continue
+            key, token_text = parts
+            try:
+                token = int(token_text)
+            except ValueError:
+                continue
+            if committed.get(key) != token:
+                data = read_json(self.layout.outcomes_dir / name)
+                if data is not None:
+                    zombies.append(data)
+        return zombies
+
+    def counts(self) -> Dict[str, int]:
+        """Queue occupancy: pending / active / done / total."""
+        campaign = self.campaign(refresh=True) or {}
+
+        def _count(directory: Path) -> int:
+            try:
+                return sum(1 for p in directory.iterdir()
+                           if p.name.endswith(".json"))
+            except OSError:
+                return 0
+
+        return {
+            "pending": _count(self.layout.pending_dir),
+            "active": _count(self.layout.active_dir),
+            "done": _count(self.layout.done_dir),
+            "total": int(campaign.get("total", 0)),
+        }
+
+    def finished(self) -> bool:
+        """Every published cell has a commit marker."""
+        campaign = self.campaign(refresh=True)
+        if campaign is None:
+            return False
+        return len(self.done_tokens()) >= int(campaign.get("total", 0))

@@ -1,0 +1,148 @@
+"""Shared-store layout and primitives for distributed campaigns.
+
+Everything the coordinator and the workers agree on lives in one
+directory tree (local disk for same-host fleets, NFS or another shared
+filesystem for multi-host ones)::
+
+    <store>/
+      queue/
+        campaign.json          # what is being run: fingerprint, total
+        pending/<key>.json     # unclaimed cell specs
+        active/<key>@<token>@<worker>.json   # leased cells
+        outcomes/<key>@<token>.json          # finished-cell payloads
+        done/<key>@<token>.json              # commit markers (fencing)
+      cache/                   # the shared ResultCache artifact store
+      heartbeats/<worker>.json # per-worker liveness beacons
+      journals/<worker>.jsonl  # per-worker checkpoint journals
+      manifests/<worker>.json  # per-worker run manifests
+      journal.jsonl            # deterministic merge of all journals
+      manifest.json            # deterministic merge of all manifests
+
+The only filesystem operations the protocol relies on are atomic
+same-directory ``os.rename`` and atomic-visibility writes (temp file +
+rename), which hold on every POSIX filesystem and on NFSv3+.  Nothing
+here needs locks, fcntl, or a coordination service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Separates key / fencing token / worker id inside lease and marker
+#: file names.  Never appears in sha256 hex keys or sanitized ids.
+SEP = "@"
+
+#: Characters allowed in a worker id (everything else is mapped to "-").
+_ID_SAFE = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def worker_id(label: Optional[str] = None) -> str:
+    """A store-safe worker identity: ``<host>-<pid>-<nonce>``.
+
+    ``label`` overrides the generated id (sanitized); ids only have to
+    be unique per fleet, they never influence results.
+    """
+    if label:
+        return _ID_SAFE.sub("-", label)
+    return _ID_SAFE.sub("-", (
+        f"{socket.gethostname()}-{os.getpid()}-{os.urandom(3).hex()}"
+    ))
+
+
+def atomic_write_json(path: Path, payload: Any) -> None:
+    """Publish a JSON file so readers only ever see complete content."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f".{path.name}.tmp.{os.getpid()}-{os.urandom(4).hex()}"
+    )
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """The parsed file, or ``None`` if missing/torn (reader retries)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+@dataclass(frozen=True)
+class StoreLayout:
+    """Resolved paths of one shared store."""
+
+    root: Path
+
+    @property
+    def queue_dir(self) -> Path:
+        return self.root / "queue"
+
+    @property
+    def campaign_file(self) -> Path:
+        return self.queue_dir / "campaign.json"
+
+    @property
+    def pending_dir(self) -> Path:
+        return self.queue_dir / "pending"
+
+    @property
+    def active_dir(self) -> Path:
+        return self.queue_dir / "active"
+
+    @property
+    def outcomes_dir(self) -> Path:
+        return self.queue_dir / "outcomes"
+
+    @property
+    def done_dir(self) -> Path:
+        return self.queue_dir / "done"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    @property
+    def heartbeats_dir(self) -> Path:
+        return self.root / "heartbeats"
+
+    @property
+    def journals_dir(self) -> Path:
+        return self.root / "journals"
+
+    @property
+    def manifests_dir(self) -> Path:
+        return self.root / "manifests"
+
+    @property
+    def merged_journal(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    @property
+    def merged_manifest(self) -> Path:
+        return self.root / "manifest.json"
+
+    def create(self) -> "StoreLayout":
+        for directory in (self.pending_dir, self.active_dir,
+                          self.outcomes_dir, self.done_dir, self.cache_dir,
+                          self.heartbeats_dir, self.journals_dir,
+                          self.manifests_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+
+def layout(root: Union[str, Path]) -> StoreLayout:
+    """The :class:`StoreLayout` rooted at ``root``."""
+    return StoreLayout(Path(root))

@@ -1,0 +1,393 @@
+"""The distributed worker agent: claim, execute, commit, repeat.
+
+A worker is one process (``repro worker --store DIR`` from the CLI, or
+:class:`WorkerAgent` embedded) that joins a shared store, then loops:
+claim a cell from the queue (stealing stale leases when the pending
+directory is dry), execute it with the full PR 4 retry taxonomy —
+transient failures retried locally with seeded-jitter backoff so a
+fleet never retries in lockstep — and commit the outcome through the
+fencing protocol.  Every commit is also checkpointed to the worker's
+own journal and manifest, which the coordinator later merges.
+
+Parallelism across a host is "run more workers": each agent is serial
+inside, which keeps the failure unit (one process == one lease == one
+cell) aligned with what SIGKILL, OOM, and partitions actually take out.
+
+Shutdown paths:
+
+- **queue drained** — every published cell has a commit marker; exit 0.
+- **SIGINT/SIGTERM** — the CLI turns these into
+  :class:`~repro.core.errors.CampaignInterrupted`; the agent releases
+  its current lease back to ``pending/`` (no waiting out a staleness
+  deadline), flushes journal and manifest, withdraws its heartbeat, and
+  reports itself drained.
+- **SIGKILL / power loss** — nothing runs, and nothing needs to: the
+  heartbeat goes stale and survivors steal the lease.  That path is the
+  chaos suite's favorite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.cache import ResultCache, code_fingerprint
+from repro.core.dist import heartbeat as hb
+from repro.core.dist.queue import Lease, QueueError, WorkQueue
+from repro.core.dist.store import StoreLayout, layout as make_layout, worker_id
+from repro.core.errors import (
+    CampaignInterrupted,
+    Category,
+    RetryPolicy,
+    classify,
+)
+from repro.core.journal import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_FENCED,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CellOutcome,
+    RunJournal,
+    RunManifest,
+)
+from repro.core.parallel import CellTask, _sim_time_of
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Default fraction of backoff jitter for fleet retries — high enough to
+#: decorrelate a fleet, too small to distort the schedule.
+DEFAULT_JITTER = 0.25
+
+
+@dataclass
+class WorkerStats:
+    """What one :meth:`WorkerAgent.run` actually did."""
+
+    claimed: int = 0
+    stolen: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    committed: int = 0
+    fenced: int = 0
+    released: int = 0
+    retries: int = 0
+    failed: int = 0
+    quarantined: int = 0
+    idle_polls: int = 0
+    elapsed_s: float = 0.0
+    interrupted: bool = False
+
+    def summary_line(self) -> str:
+        parts = [f"{self.committed} committed"]
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} cached")
+        if self.stolen:
+            parts.append(f"{self.stolen} stolen")
+        if self.fenced:
+            parts.append(f"{self.fenced} fenced")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.released:
+            parts.append(f"{self.released} released")
+        return ", ".join(parts) + f" in {self.elapsed_s:.1f} s"
+
+
+@dataclass
+class _CellRun:
+    """One lease's execution record, pre-commit."""
+
+    status: str
+    payload: Any = None
+    error: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+    retries: int = 0
+    duration_s: float = 0.0
+    backoff_s: List[float] = field(default_factory=list)
+    sim_time_s: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
+
+
+class WorkerAgent:
+    """One pull-based execution agent against a shared store.
+
+    Args:
+        store: The shared store directory (same value the coordinator
+            got via ``--store``).
+        worker: Explicit worker id (default: host-pid-nonce).
+        poll_s: Sleep between claim attempts when nothing is claimable.
+        heartbeat_interval_s: Seconds between liveness beacons.
+        lease_timeout_s: Owner-silence span after which a lease is
+            stealable (default: 3x the heartbeat interval).
+        cell_timeout_s: Self-watchdog — a cell running past this stops
+            the agent's own heartbeat, inviting takeover and fencing.
+        retries: Local transient-retry budget per cell.
+        jitter: Backoff jitter fraction (see
+            :class:`~repro.core.errors.RetryPolicy`).
+        join_timeout_s: How long to wait for a campaign to be published
+            before giving up (workers may legally start first).
+        idle_exit_s: Exit after this much continuous idleness even if
+            the campaign has not finished (opportunistic fleets).
+        max_cells: Commit at most this many cells, then exit (chaos
+            tests and bounded scavengers).
+    """
+
+    def __init__(
+        self,
+        store: Union[str, Path, StoreLayout],
+        worker: Optional[str] = None,
+        *,
+        poll_s: float = 0.25,
+        heartbeat_interval_s: float = hb.DEFAULT_INTERVAL_S,
+        lease_timeout_s: Optional[float] = None,
+        cell_timeout_s: Optional[float] = None,
+        retries: int = 1,
+        jitter: float = DEFAULT_JITTER,
+        seed: int = 0,
+        join_timeout_s: float = 60.0,
+        idle_exit_s: Optional[float] = None,
+        max_cells: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        monotonic: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.layout = (store if isinstance(store, StoreLayout)
+                       else make_layout(store))
+        self.worker = worker_id(worker)
+        self.poll_s = poll_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.lease_timeout_s = (
+            lease_timeout_s if lease_timeout_s is not None
+            else heartbeat_interval_s * hb.STALE_FACTOR
+        )
+        self.cell_timeout_s = cell_timeout_s
+        self.policy = RetryPolicy(max_retries=retries, jitter=jitter,
+                                  seed=seed)
+        self.join_timeout_s = join_timeout_s
+        self.idle_exit_s = idle_exit_s
+        self.max_cells = max_cells
+        self.progress = progress
+        self._sleep = sleep
+        self._monotonic = monotonic
+        self.queue = WorkQueue(self.layout, worker=self.worker)
+        self.stats = WorkerStats()
+        self.manifest = RunManifest()
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the loop to drain after the current cell (signal-safe)."""
+        self._stop = True
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> WorkerStats:
+        """Work the queue until it finishes (or stop/idle-exit/max)."""
+        started = self._monotonic()
+        self.stats = WorkerStats()
+        self.manifest = RunManifest()
+        self.layout.create()
+        self._join()
+        journal = RunJournal(self.layout.journals_dir
+                             / f"{self.worker}.jsonl")
+        journal.reset()
+        cache = ResultCache(self.layout.cache_dir)
+        beacon = hb.HeartbeatWriter(
+            self.layout, self.worker,
+            interval_s=self.heartbeat_interval_s,
+            busy_timeout_s=self.cell_timeout_s,
+        )
+        lease: Optional[Lease] = None
+        idle_since: Optional[float] = None
+        try:
+            with beacon, obs_trace.span("worker.run", cat="dist",
+                                        worker=self.worker):
+                while not self._stop:
+                    if self.queue.finished():
+                        break
+                    if (self.max_cells is not None
+                            and self.stats.committed >= self.max_cells):
+                        break
+                    lease = self.queue.claim(
+                        stale_after_s=self.lease_timeout_s
+                    )
+                    if lease is None:
+                        now = self._monotonic()
+                        idle_since = idle_since if idle_since is not None \
+                            else now
+                        if (self.idle_exit_s is not None
+                                and now - idle_since >= self.idle_exit_s):
+                            break
+                        self.stats.idle_polls += 1
+                        self._sleep(self.poll_s)
+                        continue
+                    idle_since = None
+                    self.stats.claimed += 1
+                    if lease.token > 1:
+                        self.stats.stolen += 1
+                        self._tick(f"stole {lease.spec.name} "
+                                   f"(token {lease.token})")
+                    self._work_lease(lease, cache, journal, beacon)
+                    lease = None
+        except CampaignInterrupted:
+            self.stats.interrupted = True
+            if lease is not None and self.queue.release(lease):
+                self.stats.released += 1
+        finally:
+            journal.close()
+            self._write_manifest()
+            self.stats.elapsed_s = self._monotonic() - started
+        return self.stats
+
+    def _join(self) -> None:
+        """Wait for a campaign to appear, then validate compatibility."""
+        deadline = self._monotonic() + self.join_timeout_s
+        fingerprint = code_fingerprint()
+        while True:
+            try:
+                self.queue.join(fingerprint)
+                return
+            except QueueError as exc:
+                if ("no campaign published" not in str(exc)
+                        or self._monotonic() >= deadline or self._stop):
+                    raise
+                self._sleep(self.poll_s)
+
+    # ------------------------------------------------------------------
+    # one lease, end to end
+    # ------------------------------------------------------------------
+
+    def _work_lease(self, lease: Lease, cache: ResultCache,
+                    journal: RunJournal, beacon: hb.HeartbeatWriter) -> None:
+        beacon.cell_started()
+        try:
+            payload = cache.get(lease.key)
+            if payload is not None:
+                run = _CellRun(status=STATUS_CACHED, payload=payload)
+                self.stats.cache_hits += 1
+            else:
+                run = self._execute(lease.spec.task, lease.key)
+        finally:
+            beacon.cell_finished()
+        outcome = {
+            "name": lease.spec.name,
+            "status": run.status,
+            "attempts": run.attempts,
+            "retries": run.retries,
+            "duration_s": round(run.duration_s, 6),
+            "sim_time_s": round(run.sim_time_s, 6),
+        }
+        if run.status in (STATUS_OK, STATUS_CACHED):
+            outcome["payload"] = run.payload
+        if run.error is not None:
+            outcome["error"] = run.error
+        if run.metrics is not None:
+            outcome["metrics"] = run.metrics
+        committed = self.queue.commit(lease, outcome)
+        status = run.status if committed else STATUS_FENCED
+        if committed:
+            self.stats.committed += 1
+            if run.status == STATUS_OK:
+                cache.put(lease.key, run.payload)
+            if run.status in (STATUS_OK, STATUS_CACHED):
+                journal.append(
+                    key=lease.key, name=lease.spec.name, status=run.status,
+                    payload=run.payload, attempts=run.attempts,
+                    duration_s=run.duration_s,
+                )
+            else:
+                journal.append(
+                    key=lease.key, name=lease.spec.name, status=run.status,
+                    attempts=run.attempts, duration_s=run.duration_s,
+                    error=run.error,
+                )
+            self._tick(f"{lease.spec.name} [{run.status}]")
+        else:
+            self.stats.fenced += 1
+            self._tick(f"{lease.spec.name} [fenced: lease taken over]")
+        self.manifest.record(CellOutcome(
+            name=lease.spec.name, key=lease.key, status=status,
+            attempts=run.attempts, retries=run.retries,
+            duration_s=run.duration_s, backoff_s=run.backoff_s,
+            error=run.error, sim_time_s=run.sim_time_s, metrics=run.metrics,
+            worker=self.worker,
+        ))
+        self._write_manifest()
+
+    def _execute(self, task: CellTask, key: str) -> _CellRun:
+        """Run one cell with the local retry taxonomy."""
+        run = _CellRun(status=STATUS_OK)
+        started = self._monotonic()
+        while True:
+            run.attempts += 1
+            try:
+                before = obs_metrics.snapshot()
+                with obs_trace.span(f"cell.{task.name}",
+                                    cat="cell") as cell_span:
+                    result = task.execute()
+                    snap = obs_metrics.delta(before, obs_metrics.snapshot())
+                    cell_span.set(sim_dur_s=_sim_time_of(snap))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                category = classify(exc)
+                if (category is Category.TRANSIENT
+                        and run.retries < self.policy.max_retries):
+                    run.retries += 1
+                    self.stats.retries += 1
+                    # Salting with worker id decorrelates the fleet: a
+                    # shared-store blip no longer synchronizes retries.
+                    delay = self.policy.delay_for(
+                        run.retries, salt=f"{key}:{self.worker}"
+                    )
+                    run.backoff_s.append(delay)
+                    self._tick(f"{task.name} [retry {run.retries} "
+                               f"in {delay:.2f}s]")
+                    self._sleep(delay)
+                    continue
+                run.error = {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "category": category.value,
+                }
+                if category is Category.POISON:
+                    run.status = STATUS_QUARANTINED
+                    self.stats.quarantined += 1
+                else:
+                    run.status = STATUS_FAILED
+                    self.stats.failed += 1
+                run.duration_s = self._monotonic() - started
+                return run
+            else:
+                run.metrics = snap
+                run.sim_time_s = _sim_time_of(snap)
+                run.payload = task.pack(result) if task.pack else result
+                run.duration_s = self._monotonic() - started
+                self.stats.executed += 1
+                return run
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        try:
+            self.manifest.write(self.layout.manifests_dir
+                                / f"{self.worker}.json")
+        except OSError:
+            pass  # a partition: done/ markers still hold the truth
+
+    def _tick(self, label: str) -> None:
+        if self.progress is not None:
+            self.progress(f"[{self.worker}] {label}")

@@ -24,6 +24,7 @@ object may not unpickle) are categorized.
 from __future__ import annotations
 
 import enum
+import hashlib
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional
@@ -134,12 +135,22 @@ class RetryPolicy:
     retry multiplies it by ``backoff_factor``, capped at
     ``backoff_max_s``.  Deterministic and poison failures never consult
     the policy.
+
+    ``jitter`` spreads each delay by up to that fraction either way,
+    derived from sha256 of ``(seed, salt, retry)`` — so a fleet of
+    workers that all hit the same transient failure (a shared store
+    blip, say) does not retry in lockstep, while the schedule is still a
+    pure function of its inputs: same seed, same salt, same delays,
+    bit-identical runs.  ``jitter=0`` (the default) reproduces the
+    un-jittered schedule exactly.
     """
 
     max_retries: int = 1
     backoff_base_s: float = 0.25
     backoff_factor: float = 2.0
     backoff_max_s: float = 30.0
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -148,12 +159,25 @@ class RetryPolicy:
             raise ValueError("backoff delays must be >= 0")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
 
-    def delay_for(self, retry: int) -> float:
-        """Seconds to wait before retry number ``retry`` (1-based)."""
+    def delay_for(self, retry: int, salt: str = "") -> float:
+        """Seconds to wait before retry number ``retry`` (1-based).
+
+        ``salt`` decorrelates otherwise-identical schedules: the sweep
+        runner salts with the cell key, distributed workers add their
+        worker id, so no two retry streams share a jitter sequence.
+        """
         if retry < 1:
             return 0.0
         delay = self.backoff_base_s * (self.backoff_factor ** (retry - 1))
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"{self.seed}:{salt}:{retry}".encode()
+            ).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64  # [0, 1)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
         return min(delay, self.backoff_max_s)
 
 

@@ -42,6 +42,11 @@ STATUS_CACHED = "cached"
 STATUS_RESUMED = "resumed"
 STATUS_FAILED = "failed"
 STATUS_QUARANTINED = "quarantined"
+#: A distributed worker finished a cell but lost the fencing race — its
+#: lease had been taken over, so the commit was rejected (never counted
+#: as the cell's result; kept for audit because it proves the
+#: exactly-once machinery fired).
+STATUS_FENCED = "fenced"
 
 #: States that mean "this cell has a replayable payload".
 _COMPLETED = (STATUS_OK, STATUS_CACHED)
@@ -212,6 +217,9 @@ class CellOutcome:
     #: Per-cell metrics snapshot (see :mod:`repro.obs.metrics`), None
     #: for replayed cells — they executed nothing.
     metrics: Optional[Dict[str, Any]] = None
+    #: Distributed-worker id that produced this outcome ("" when the
+    #: cell ran in the local runner).
+    worker: str = ""
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -234,6 +242,8 @@ class CellOutcome:
             out["sim_time_s"] = round(self.sim_time_s, 6)
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.worker:
+            out["worker"] = self.worker
         return out
 
 
@@ -288,7 +298,7 @@ class RunManifest:
         counts = self.counts()
         parts = [f"{len(self.cells)} cells"]
         for status in (STATUS_OK, STATUS_CACHED, STATUS_RESUMED,
-                       STATUS_FAILED, STATUS_QUARANTINED):
+                       STATUS_FAILED, STATUS_QUARANTINED, STATUS_FENCED):
             if counts.get(status):
                 parts.append(f"{counts[status]} {status}")
         retried = len(self.retried())
@@ -343,5 +353,6 @@ class RunManifest:
                 error=entry.get("error"),
                 sim_time_s=entry.get("sim_time_s", 0.0),
                 metrics=entry.get("metrics"),
+                worker=entry.get("worker", ""),
             ))
         return manifest

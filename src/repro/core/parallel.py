@@ -667,7 +667,10 @@ class TaskRunner:
     def _note_retry(self, task: CellTask, state: _CellState) -> float:
         state.retries_used += 1
         self.stats.retries += 1
-        delay = self.policy.delay_for(state.retries_used)
+        # Salting with the cell identity keeps jittered schedules
+        # deterministic per cell but uncorrelated across cells.
+        delay = self.policy.delay_for(state.retries_used,
+                                      salt=state.key or task.name)
         state.backoff_s.append(delay)
         self._tick(f"{task.name} [retry {state.retries_used} "
                    f"in {delay:.2f}s]")

@@ -1,0 +1,193 @@
+"""Property tests: the distributed merge is a true CRDT-style fold.
+
+ISSUE 6 satellite: merging per-worker ``RunManifest``s must be
+order-independent (commutative and associative), and replaying a merged
+journal must be idempotent — merging the merge back in changes nothing.
+Hypothesis drives the merge with arbitrary worker outputs, including
+conflicting entries for the same cell key.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dist.merge import (
+    merge_journal_entries,
+    merge_journals,
+    merge_manifests,
+)
+from repro.core.journal import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_FENCED,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    CellOutcome,
+    RunJournal,
+    RunManifest,
+)
+
+_KEYS = st.sampled_from([f"key-{i:02d}" for i in range(8)])
+_STATUSES = st.sampled_from([STATUS_OK, STATUS_CACHED, STATUS_FAILED,
+                             STATUS_QUARANTINED, STATUS_FENCED])
+
+
+@st.composite
+def journal_entries(draw):
+    """One worker's ``key -> entry`` journal map."""
+    keys = draw(st.lists(_KEYS, unique=True, max_size=6))
+    entries = {}
+    for key in keys:
+        status = draw(_STATUSES)
+        entry = {
+            "key": key,
+            "name": f"cell {key}",
+            "status": status,
+            "attempts": draw(st.integers(min_value=1, max_value=4)),
+            "duration_s": draw(st.floats(min_value=0.0, max_value=10.0,
+                                         allow_nan=False)),
+        }
+        if status in (STATUS_OK, STATUS_CACHED):
+            entry["payload"] = {"value": draw(st.integers(0, 100))}
+        else:
+            entry["error"] = {"type": "RuntimeError",
+                              "message": draw(st.text(max_size=8))}
+        entries[key] = entry
+    return entries
+
+
+@st.composite
+def manifests(draw):
+    manifest = RunManifest()
+    for entries in draw(st.lists(journal_entries(), max_size=3)):
+        for key, entry in entries.items():
+            manifest.record(CellOutcome(
+                name=entry["name"], key=key, status=entry["status"],
+                attempts=entry["attempts"],
+                duration_s=entry["duration_s"],
+                error=entry.get("error"),
+                worker=draw(st.sampled_from(["w0", "w1", "w2"])),
+            ))
+    return manifest
+
+
+def _canon(manifest: RunManifest) -> str:
+    return json.dumps(manifest.as_dict(), sort_keys=True)
+
+
+class TestManifestMergeProperties:
+    @given(a=manifests(), b=manifests())
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, a, b):
+        assert _canon(merge_manifests([a, b])) == \
+            _canon(merge_manifests([b, a]))
+
+    @given(a=manifests(), b=manifests(), c=manifests())
+    @settings(max_examples=50, deadline=None)
+    def test_associative(self, a, b, c):
+        left = merge_manifests([merge_manifests([a, b]), c])
+        right = merge_manifests([a, merge_manifests([b, c])])
+        assert _canon(left) == _canon(right)
+
+    @given(a=manifests())
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, a):
+        once = merge_manifests([a])
+        twice = merge_manifests([once, a])
+        assert _canon(once) == _canon(twice)
+
+    @given(a=manifests(), b=manifests())
+    @settings(max_examples=50, deadline=None)
+    def test_no_outcome_lost(self, a, b):
+        merged = merge_manifests([a, b])
+        merged_forms = {json.dumps(c.as_dict(), sort_keys=True)
+                        for c in merged.cells}
+        for source in (a, b):
+            for cell in source.cells:
+                assert json.dumps(cell.as_dict(),
+                                  sort_keys=True) in merged_forms
+
+
+class TestJournalMergeProperties:
+    @given(a=journal_entries(), b=journal_entries())
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a, b):
+        assert merge_journal_entries([a, b]) == merge_journal_entries([b, a])
+
+    @given(a=journal_entries(), b=journal_entries(), c=journal_entries())
+    @settings(max_examples=100, deadline=None)
+    def test_associative(self, a, b, c):
+        left = merge_journal_entries(
+            [merge_journal_entries([a, b]), c])
+        right = merge_journal_entries(
+            [a, merge_journal_entries([b, c])])
+        assert left == right
+
+    @given(a=journal_entries())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, a):
+        once = merge_journal_entries([a])
+        assert merge_journal_entries([once, a]) == once
+
+    @given(a=journal_entries(), b=journal_entries())
+    @settings(max_examples=100, deadline=None)
+    def test_completed_always_beats_failed(self, a, b):
+        merged = merge_journal_entries([a, b])
+        for key, entry in merged.items():
+            statuses = {m[key]["status"] for m in (a, b) if key in m}
+            if statuses & {STATUS_OK, STATUS_CACHED}:
+                assert entry["status"] in (STATUS_OK, STATUS_CACHED)
+
+
+class TestMergedJournalReplay:
+    def test_merged_journal_replay_is_idempotent(self, tmp_path):
+        """Merging the merged journal back in is a no-op, and loading it
+        through RunJournal round-trips every entry."""
+        a_path, b_path = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        with RunJournal(a_path) as a:
+            a.reset()
+            a.append(key="k1", name="c1", status=STATUS_OK,
+                     payload={"v": 1})
+            a.append(key="k2", name="c2", status=STATUS_FAILED,
+                     error={"type": "E", "message": "boom"})
+        with RunJournal(b_path) as b:
+            b.reset()
+            b.append(key="k2", name="c2", status=STATUS_OK,
+                     payload={"v": 2})
+            b.append(key="k3", name="c3", status=STATUS_CACHED,
+                     payload={"v": 3})
+
+        merged_path = tmp_path / "merged.jsonl"
+        merge_journals([a_path, b_path], merged_path)
+        first = merged_path.read_bytes()
+
+        # Replay: merge the merged file together with the originals.
+        again_path = tmp_path / "again.jsonl"
+        merge_journals([merged_path, a_path, b_path], again_path)
+        assert again_path.read_bytes() == first
+
+        entries = RunJournal(merged_path).load()
+        assert set(entries) == {"k1", "k2", "k3"}
+        # k2 succeeded on one worker, failed on another: success wins.
+        assert entries["k2"]["status"] == STATUS_OK
+        assert entries["k2"]["payload"] == {"v": 2}
+
+    def test_merge_order_does_not_change_file_bytes(self, tmp_path):
+        paths = []
+        for i, worker in enumerate(("w0", "w1", "w2")):
+            path = tmp_path / f"{worker}.jsonl"
+            with RunJournal(path) as journal:
+                journal.reset()
+                journal.append(key=f"k{i}", name=f"c{i}", status=STATUS_OK,
+                               payload={"v": i})
+                journal.append(key="shared", name="shared",
+                               status=STATUS_OK, payload={"v": 42})
+            paths.append(path)
+        out1 = tmp_path / "m1.jsonl"
+        out2 = tmp_path / "m2.jsonl"
+        merge_journals(paths, out1)
+        merge_journals(list(reversed(paths)), out2)
+        assert out1.read_bytes() == out2.read_bytes()

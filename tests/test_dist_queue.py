@@ -1,0 +1,235 @@
+"""Lease-queue protocol coverage: claims, steals, fencing, resume.
+
+The exactly-once contract under test (ISSUE 6): claiming is a
+single-winner atomic rename, takeover increments a monotonic fencing
+token, and a zombie whose lease was taken over can finish its work but
+never commit it — at most one ``done/`` marker ever exists per cell key.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.dist.heartbeat import HeartbeatWriter
+from repro.core.dist.queue import (
+    QueueError,
+    TaskSpec,
+    WorkQueue,
+    _parse_lease_name,
+)
+from repro.core.dist.store import layout
+from repro.core.cache import code_fingerprint
+from repro.core.parallel import CellTask
+
+
+def _double(value: int) -> int:
+    return value * 2
+
+
+def _specs(n: int) -> list:
+    specs = []
+    for i in range(n):
+        task = CellTask(name=f"cell-{i}", fn=_double, kwargs={"value": i})
+        specs.append(TaskSpec(key=task.cache_key(), name=task.name,
+                              task=task))
+    return specs
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return layout(tmp_path / "store").create()
+
+
+def _publish(store, specs, fingerprint="fp-1"):
+    queue = WorkQueue(store, worker="publisher")
+    counts = queue.publish(specs, fingerprint, code_fingerprint())
+    return queue, counts
+
+
+class TestPublishJoin:
+    def test_publish_enqueues_every_cell(self, store):
+        specs = _specs(4)
+        _, counts = _publish(store, specs)
+        assert counts == {"published": 4, "already_done": 0, "skipped": 0}
+        assert sorted(p.stem for p in store.pending_dir.iterdir()) == \
+            sorted(s.key for s in specs)
+
+    def test_join_requires_matching_code_fingerprint(self, store):
+        _publish(store, _specs(1))
+        queue = WorkQueue(store, worker="w1")
+        assert queue.join(code_fingerprint())["total"] == 1
+        with pytest.raises(QueueError, match="code fingerprint mismatch"):
+            queue.join("deadbeef")
+
+    def test_join_without_campaign_raises(self, store):
+        with pytest.raises(QueueError, match="no campaign published"):
+            WorkQueue(store, worker="w1").join(code_fingerprint())
+
+    def test_republish_same_campaign_skips_done_cells(self, store):
+        specs = _specs(3)
+        queue, _ = _publish(store, specs)
+        lease = queue.claim()
+        assert queue.commit(lease, {"status": "ok", "payload": 1})
+        _, counts = _publish(store, specs)
+        assert counts["already_done"] == 1
+        assert counts["published"] == 0  # 2 still pending -> skipped
+        assert counts["skipped"] == 2
+        assert len(queue.done_tokens()) == 1
+
+    def test_publish_different_campaign_wipes_queue(self, store):
+        queue, _ = _publish(store, _specs(2), fingerprint="fp-1")
+        lease = queue.claim()
+        queue.commit(lease, {"status": "ok"})
+        _, counts = _publish(store, _specs(3), fingerprint="fp-2")
+        assert counts == {"published": 3, "already_done": 0, "skipped": 0}
+
+
+class TestClaim:
+    def test_claim_moves_pending_to_active_with_token_1(self, store):
+        queue, _ = _publish(store, _specs(1))
+        worker = WorkQueue(store, worker="w1")
+        lease = worker.claim()
+        assert lease is not None
+        assert lease.token == 1
+        assert lease.worker == "w1"
+        assert _parse_lease_name(lease.path.name) == (lease.key, 1, "w1")
+        assert not any(store.pending_dir.iterdir())
+
+    def test_each_cell_claimed_exactly_once(self, store):
+        _publish(store, _specs(6))
+        queues = [WorkQueue(store, worker=f"w{i}") for i in range(3)]
+        claimed = []
+        for queue in queues:
+            while True:
+                lease = queue.claim(steal=False)
+                if lease is None:
+                    break
+                claimed.append(lease.key)
+        assert len(claimed) == 6
+        assert len(set(claimed)) == 6  # no double-claims
+
+    def test_concurrent_claims_never_duplicate(self, store):
+        """Threads racing on the same pending set split it cleanly."""
+        _publish(store, _specs(12))
+        results: dict = {}
+        lock = threading.Lock()
+
+        def work(worker_id: str) -> None:
+            queue = WorkQueue(store, worker=worker_id)
+            while True:
+                lease = queue.claim(steal=False)
+                if lease is None:
+                    return
+                with lock:
+                    results.setdefault(lease.key, []).append(worker_id)
+
+        threads = [threading.Thread(target=work, args=(f"w{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 12
+        assert all(len(owners) == 1 for owners in results.values())
+
+    def test_release_returns_cell_to_pending(self, store):
+        queue, _ = _publish(store, _specs(1))
+        worker = WorkQueue(store, worker="w1")
+        lease = worker.claim()
+        assert worker.release(lease) is True
+        assert worker.claim() is not None  # claimable again
+
+
+class TestStealAndFence:
+    def test_stale_owner_is_stolen_with_incremented_token(self, store):
+        queue, _ = _publish(store, _specs(1))
+        victim = WorkQueue(store, worker="victim")
+        lease = victim.claim()
+        # victim never beats -> its lease mtime is the only signal
+        time.sleep(0.05)
+        thief = WorkQueue(store, worker="thief")
+        stolen = thief.claim(stale_after_s=0.01)
+        assert stolen is not None
+        assert stolen.key == lease.key
+        assert stolen.token == 2
+        assert stolen.worker == "thief"
+
+    def test_live_owner_is_not_stolen(self, store):
+        queue, _ = _publish(store, _specs(1))
+        victim = WorkQueue(store, worker="victim")
+        beacon = HeartbeatWriter(store, "victim", interval_s=0.05)
+        beacon.beat()
+        victim.claim()
+        thief = WorkQueue(store, worker="thief")
+        assert thief.claim(stale_after_s=60.0) is None
+
+    def test_zombie_commit_is_fenced(self, store):
+        """The acceptance criterion: work may run twice, commit cannot."""
+        queue, _ = _publish(store, _specs(1))
+        zombie = WorkQueue(store, worker="zombie")
+        zombie_lease = zombie.claim()
+        time.sleep(0.05)
+        survivor = WorkQueue(store, worker="survivor")
+        survivor_lease = survivor.claim(stale_after_s=0.01)
+        assert survivor_lease.token == zombie_lease.token + 1
+        # Survivor commits first; the zombie wakes up and tries.
+        assert survivor.commit(survivor_lease,
+                               {"status": "ok", "payload": 2}) is True
+        assert zombie.commit(zombie_lease,
+                             {"status": "ok", "payload": 2}) is False
+        done = queue.done_tokens()
+        assert done == {zombie_lease.key: survivor_lease.token}
+        # The zombie's finished outcome survives as forensic evidence.
+        zombies = queue.zombie_outcomes()
+        assert len(zombies) == 1
+        assert zombies[0]["token"] == zombie_lease.token
+
+    def test_fencing_order_is_commit_wins_not_last_write(self, store):
+        """Even if the zombie commits FIRST, the steal already fenced it."""
+        queue, _ = _publish(store, _specs(1))
+        zombie = WorkQueue(store, worker="zombie")
+        zombie_lease = zombie.claim()
+        time.sleep(0.05)
+        survivor = WorkQueue(store, worker="survivor")
+        survivor_lease = survivor.claim(stale_after_s=0.01)
+        # Zombie tries before the survivor has committed anything:
+        assert zombie.commit(zombie_lease, {"status": "ok"}) is False
+        assert survivor.commit(survivor_lease, {"status": "ok"}) is True
+        assert len(queue.done_tokens()) == 1
+
+    def test_committed_outcome_carries_token_and_worker(self, store):
+        queue, _ = _publish(store, _specs(1))
+        worker = WorkQueue(store, worker="w1")
+        lease = worker.claim()
+        worker.commit(lease, {"status": "ok", "payload": 7})
+        outcome = queue.outcome_for(lease.key)
+        assert outcome["payload"] == 7
+        assert outcome["token"] == 1
+        assert outcome["worker"] == "w1"
+
+    def test_finished_when_every_cell_committed(self, store):
+        queue, _ = _publish(store, _specs(2))
+        worker = WorkQueue(store, worker="w1")
+        assert queue.finished() is False
+        while True:
+            lease = worker.claim()
+            if lease is None:
+                break
+            worker.commit(lease, {"status": "ok"})
+        assert queue.finished() is True
+        counts = queue.counts()
+        assert counts["pending"] == 0
+        assert counts["active"] == 0
+        assert counts["done"] == 2
+
+
+class TestSpecRoundTrip:
+    def test_task_spec_survives_json(self, store):
+        spec = _specs(1)[0]
+        restored = TaskSpec.from_json(spec.to_json())
+        assert restored.key == spec.key
+        assert restored.name == spec.name
+        assert restored.task.execute() == spec.task.execute()

@@ -253,3 +253,75 @@ class TestManifestAccounting:
         loaded = RunManifest.read(path)
         assert loaded.counts() == runner.manifest.counts()
         assert loaded.quarantined()[0].name == "poison"
+
+
+# ---------------------------------------------------------------------------
+# seeded jitter (ISSUE 6 satellite): anti-thundering-herd, yet bit-identical
+# ---------------------------------------------------------------------------
+
+class TestSeededJitter:
+    def test_zero_jitter_reproduces_legacy_schedule(self):
+        plain = RetryPolicy(max_retries=3, backoff_base_s=1.0,
+                            backoff_factor=2.0, backoff_max_s=60.0)
+        zero = RetryPolicy(max_retries=3, backoff_base_s=1.0,
+                           backoff_factor=2.0, backoff_max_s=60.0,
+                           jitter=0.0, seed=123)
+        for retry in (1, 2, 3):
+            assert zero.delay_for(retry, salt="x") == plain.delay_for(retry)
+
+    def test_same_seed_same_salt_is_bit_identical(self):
+        a = RetryPolicy(max_retries=3, jitter=0.25, seed=7)
+        b = RetryPolicy(max_retries=3, jitter=0.25, seed=7)
+        for retry in (1, 2, 3):
+            assert a.delay_for(retry, salt="cell-1") == \
+                b.delay_for(retry, salt="cell-1")
+
+    def test_different_salts_decorrelate_the_fleet(self):
+        """Ten workers retrying the same cell never share a delay —
+        the whole point of jitter."""
+        policy = RetryPolicy(max_retries=1, backoff_base_s=1.0,
+                             jitter=0.25, seed=0)
+        delays = {policy.delay_for(1, salt=f"cell:worker-{i}")
+                  for i in range(10)}
+        assert len(delays) == 10
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(max_retries=1, backoff_base_s=2.0,
+                             backoff_factor=2.0, backoff_max_s=60.0,
+                             jitter=0.25, seed=3)
+        for retry in (1, 2, 3):
+            base = 2.0 * (2.0 ** (retry - 1))
+            delay = policy.delay_for(retry, salt="s")
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_jitter_never_exceeds_backoff_cap(self):
+        policy = RetryPolicy(max_retries=1, backoff_base_s=10.0,
+                             backoff_factor=10.0, backoff_max_s=15.0,
+                             jitter=1.0, seed=1)
+        for retry in (1, 2, 3, 4):
+            assert policy.delay_for(retry, salt="s") <= 15.0
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_runner_schedule_is_deterministic_per_cell(self, tmp_path):
+        """Two identical flaky sweeps sleep the exact same delays."""
+        def run_once(tag: str):
+            slept = []
+            runner = TaskRunner(
+                jobs=1, retries=2,
+                policy=RetryPolicy(max_retries=2, backoff_base_s=0.01,
+                                   jitter=0.5, seed=11),
+                sleep=slept.append,
+            )
+            runner.run([CellTask(
+                name="flaky", fn=_flaky,
+                kwargs={"counter": str(tmp_path / f"n-{tag}"),
+                        "fail_times": 2, "value": 1},
+            )])
+            return slept
+
+        assert run_once("a") == run_once("b")

@@ -78,7 +78,7 @@ class TestCliParser:
         assert set(sub.choices) == {
             "table1", "protocols", "fig4", "content", "rate",
             "fig5", "fig6", "ablations", "resilience", "campaign",
-            "validate", "report", "reproduce",
+            "validate", "report", "reproduce", "worker", "cache",
         }
 
     def test_missing_command_errors(self):

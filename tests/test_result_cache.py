@@ -211,3 +211,90 @@ class TestResultCache:
         key_b = task_key(run_cell, {"cell": cell_b, "repeat": 0, "seed": 0})
         assert key_a != key_b
         assert cache.get(key_b) is None
+
+
+class TestOrphanSweepAndGc:
+    """ISSUE 6 satellites: orphan sweep on open, `gc`, `disk_stats`."""
+
+    def _strand_orphan(self, tmp_path, age_s: float = 1e6):
+        import os
+        import time as time_mod
+
+        cache = ResultCache(tmp_path, sweep_orphans=False)
+        key = "67" * 32
+        cache.put(key, {"value": 1})
+        orphan = cache.path_for(key).with_suffix(".tmp.12345-0-deadbeef")
+        orphan.write_text('{"torn": tru')
+        old = time_mod.time() - age_s
+        os.utime(orphan, (old, old))
+        return cache, key, orphan
+
+    def test_stale_orphans_swept_on_open(self, tmp_path):
+        """A crashed worker's temp file disappears when the cache is
+        next opened — not only on clear()."""
+        _, key, orphan = self._strand_orphan(tmp_path)
+        reopened = ResultCache(tmp_path)
+        assert not orphan.exists()
+        assert reopened.stats.orphans_swept == 1
+        assert reopened.get(key) == {"value": 1}  # real entry untouched
+
+    def test_fresh_orphans_survive_open(self, tmp_path):
+        """A temp file younger than the TTL may belong to a live writer
+        on another host: opening the cache must leave it alone."""
+        _, _, orphan = self._strand_orphan(tmp_path, age_s=0.0)
+        ResultCache(tmp_path)
+        assert orphan.exists()
+
+    def test_gc_sweeps_orphans_and_evicts_corrupt_entries(self, tmp_path):
+        cache, key, orphan = self._strand_orphan(tmp_path)
+        bad = tmp_path / ("89" * 32 + ".json")
+        bad.write_text('{"not": "a cache entry"}')
+        report = cache.gc(orphan_ttl_s=0.0)
+        assert report["orphans"] == 1
+        assert report["evicted"] == 1
+        assert report["checked"] == 2
+        assert not orphan.exists()
+        assert not bad.exists()
+        assert cache.get(key) == {"value": 1}
+
+    def test_disk_stats_counts_entries_bytes_orphans(self, tmp_path):
+        cache, key, orphan = self._strand_orphan(tmp_path)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 1
+        assert stats["orphans"] == 1
+        assert stats["bytes"] >= cache.path_for(key).stat().st_size
+
+    def test_concurrent_put_temp_names_never_collide(self, tmp_path):
+        """Distributed workers share the store: temp names must be
+        unique even across processes with colliding pids."""
+        cache = ResultCache(tmp_path, sweep_orphans=False)
+        key = "ab" * 32
+        for _ in range(50):
+            cache.put(key, {"value": 1})
+        # Repeated puts never trip over a stale temp file: exactly one
+        # entry, zero strays.
+        assert cache.disk_stats()["entries"] == 1
+        assert cache.disk_stats()["orphans"] == 0
+
+
+class TestCacheCli:
+    def test_cache_stats_and_gc_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ResultCache(tmp_path, sweep_orphans=False)
+        cache.put("cd" * 32, {"value": 2})
+        orphan = cache.path_for("cd" * 32).with_suffix(".tmp.1-2-ff")
+        orphan.write_text("torn")
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out
+        assert "orphans    : 1" in out
+
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "orphans    : 1 temp file(s) swept" in out
+        assert not orphan.exists()
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "orphans    : 0" in capsys.readouterr().out
