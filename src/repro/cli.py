@@ -205,6 +205,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="grace period to wait for worker heartbeats "
                                 "before the coordinator executes cells "
                                 "itself")
+        if name == "fig6":
+            p.add_argument("--fanouts", nargs="*", type=int, default=[],
+                           metavar="N",
+                           help="also run the batched SFU cohort what-if "
+                                "at these fan-outs (e.g. 50 200 500), "
+                                "using the vectorized cohort engine")
+            p.add_argument("--cohort-duration", type=float, default=12.0,
+                           metavar="SECONDS",
+                           help="simulated seconds per cohort fan-out")
+            p.add_argument("--server-gbps", type=float, default=10.0,
+                           help="SFU NIC rate assumed for the what-if "
+                                "(the 0.3 Gbps testbed AP saturates at "
+                                "n ~ 22)")
+            p.add_argument("--cohort-only", action="store_true",
+                           help="skip the paper panels and run only the "
+                                "batched cohort what-if")
         if name in ("campaign", "resilience", "reproduce"):
             _add_sweep(p)
     _add_worker_parser(sub)
@@ -338,12 +354,23 @@ def _cmd_fig5(args) -> int:
 def _cmd_fig6(args) -> int:
     from repro.experiments import fig6
 
-    rendering = fig6.run_rendering(duration_s=args.duration,
+    if not args.cohort_only:
+        rendering = fig6.run_rendering(duration_s=args.duration,
+                                       repeats=args.repeats, seed=args.seed)
+        print(rendering.format_table())
+        network = fig6.run_network(duration_s=args.duration / 2,
                                    repeats=args.repeats, seed=args.seed)
-    print(rendering.format_table())
-    network = fig6.run_network(duration_s=args.duration / 2,
-                               repeats=args.repeats, seed=args.seed)
-    print(network.format_table())
+        print(network.format_table())
+    if args.fanouts or args.cohort_only:
+        cohort = fig6.run_network_cohort(
+            fanouts=tuple(args.fanouts) or fig6.COHORT_FANOUTS,
+            duration_s=args.cohort_duration,
+            seed=args.seed,
+            server_gbps=args.server_gbps,
+        )
+        print()
+        print(cohort.format_table())
+        print(f"egress knee at ~{cohort.knee_fanout():.0f} participants")
     return 0
 
 

@@ -40,12 +40,14 @@ class Testbed:
 
     def session(self, profile: VcaProfile, seed: int = 0,
                 initiator_index: int = 0, faults=None,
-                resilience=None) -> TelepresenceSession:
+                resilience=None, sim=None) -> TelepresenceSession:
         """Create (but do not run) a session on this testbed.
 
         ``faults`` / ``resilience`` pass through to
         :class:`~repro.vca.session.TelepresenceSession` and enable the
-        fault-injection + resilience runtime.
+        fault-injection + resilience runtime.  ``sim`` injects an
+        externally owned engine (e.g. one lane of a
+        :class:`~repro.netsim.batch.BatchSimulator`).
         """
         return TelepresenceSession(
             profile,
@@ -55,6 +57,7 @@ class Testbed:
             path_model=self.path_model,
             faults=faults,
             resilience=resilience,
+            sim=sim,
         )
 
     @property

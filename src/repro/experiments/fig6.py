@@ -26,9 +26,18 @@ from repro.core.parallel import CellTask, run_tasks
 from repro.core.testbed import multi_user_testbed
 from repro.netsim.capture import Direction
 from repro.rendering.pipeline import RenderPipeline
+from repro.vca.cohort import CohortRunner, SfuCohortResult, sfu_cohort_downlink
 from repro.vca.profiles import PROFILES
 
 USER_COUNTS = (2, 3, 4, 5)
+
+#: SFU fan-outs of the batched what-if extension (Sec. "Batched
+#: cohorts" of EXPERIMENTS.md) — far past the paper's 5-persona cap.
+COHORT_FANOUTS = (50, 200, 500)
+
+#: Datacenter NIC rate assumed for the what-if SFU (the testbed AP's
+#: 300 Mbps would saturate at n ≈ 22 already).
+COHORT_SERVER_GBPS = 10.0
 
 
 @dataclass
@@ -161,13 +170,23 @@ class NetworkScalability:
 
 def measure_network_cell(n: int, duration_s: float, repeats: int,
                          seed: int) -> SummaryStats:
-    """One user count's downlink summary — the unit of Fig. 6(c) work."""
+    """One user count's downlink summary — the unit of Fig. 6(c) work.
+
+    The ``repeats`` independent sessions run as one batched cohort on a
+    shared engine (:class:`~repro.vca.cohort.CohortRunner`).  Each lane
+    is bit-identical to the scalar run it replaces, so the summaries —
+    and any cached campaign CSVs — are unchanged.
+    """
     facetime = PROFILES["FaceTime"]
-    windows: List[float] = []
+    runner = CohortRunner()
     for repeat in range(repeats):
         testbed = multi_user_testbed(n)
-        session = testbed.session(facetime, seed=seed + repeat)
-        outcome = session.run(duration_s)
+        runner.add(
+            lambda sim, tb=testbed, s=seed + repeat:
+            tb.session(facetime, seed=s, sim=sim)
+        )
+    windows: List[float] = []
+    for outcome in runner.run(duration_s):
         windows.extend(throughput_windows_mbps(
             outcome.capture_of("U1"), Direction.DOWNLINK
         ))
@@ -206,3 +225,79 @@ def run_network(duration_s: float = 20.0,
             tasks, jobs=jobs, cache=cache, retries=retries, timeout=timeout,
             journal=journal, resume=resume, manifest=manifest)
     )))
+
+
+@dataclass
+class CohortScalability:
+    """The batched fig6 extension: SFU fan-outs past the persona cap.
+
+    One :class:`~repro.vca.cohort.SfuCohortResult` per fan-out, plus the
+    per-client downlink summary the Fig. 6(c) table reports.  Produced
+    by the vectorized cohort fast path, so hundreds of participants run
+    in one process in seconds.
+    """
+
+    fanouts: Tuple[int, ...]
+    server_gbps: float
+    downlink_mbps: Dict[int, SummaryStats]
+    results: Dict[int, SfuCohortResult]
+
+    def format_table(self) -> str:
+        """Printable fleet table for the extended fan-outs."""
+        lines = [
+            f"SFU what-if at {self.server_gbps:.0f} Gbit/s "
+            "(batched cohort engine)",
+            "users  downlink mean  p5      p95     egress   drop(out)",
+        ]
+        for n in self.fanouts:
+            s = self.downlink_mbps[n]
+            r = self.results[n]
+            lines.append(
+                f"{n:5d}  {s.mean:13.2f}  {s.p5:6.2f}  {s.p95:7.2f}  "
+                f"{r.delivered_egress_mbps:7.0f}  {r.egress_drop_rate:8.3f}"
+            )
+        return "\n".join(lines)
+
+    def knee_fanout(self) -> float:
+        """Fan-out where quadratic egress meets the server NIC.
+
+        Per-upload rate u and n participants offer ``n*(n-1)*u`` of
+        egress; the knee is where that meets the NIC rate.
+        """
+        per_stream = calibration.SPATIAL_PERSONA_MBPS
+        return float(0.5 + np.sqrt(0.25 + self.server_gbps * 1000.0
+                                   / per_stream))
+
+    def saturates_at_largest(self) -> bool:
+        """Whether the largest fan-out drove the SFU into drops."""
+        return self.results[max(self.fanouts)].saturated
+
+
+def run_network_cohort(
+    fanouts: Tuple[int, ...] = COHORT_FANOUTS,
+    duration_s: float = 12.0,
+    seed: int = 0,
+    server_gbps: float = COHORT_SERVER_GBPS,
+) -> CohortScalability:
+    """Fig. 6(c) past the cap: 50/200/500-participant SFU cohorts.
+
+    Runs the struct-of-arrays fast path (validated against the
+    event-driven oracle at n = 2..5 by the batch-equivalence suite) for
+    each fan-out and collects fleet aggregates: per-client downlink
+    windows, SFU ingress/egress rates, and drop behaviour past the
+    saturation knee.
+    """
+    downlink: Dict[int, SummaryStats] = {}
+    results: Dict[int, SfuCohortResult] = {}
+    for n in fanouts:
+        result = sfu_cohort_downlink(
+            n, duration_s, seed=seed, server_gbps=server_gbps
+        )
+        results[n] = result
+        downlink[n] = result.downlink_summary()
+    return CohortScalability(
+        fanouts=tuple(fanouts),
+        server_gbps=server_gbps,
+        downlink_mbps=downlink,
+        results=results,
+    )

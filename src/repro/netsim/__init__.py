@@ -13,8 +13,11 @@ captures, Linux ``tc``) with a deterministic discrete-event simulation:
 - :mod:`repro.netsim.shaper` — ``tc``-style impairments (delay, rate, loss).
 - :mod:`repro.netsim.capture` — Wireshark-style packet captures.
 - :mod:`repro.netsim.sfu` — selective-forwarding relay servers.
+- :mod:`repro.netsim.batch` — struct-of-arrays cohort engine advancing
+  many independent sessions through one event loop.
 """
 
+from repro.netsim.batch import BatchSimulator, LaneSimulator
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet, IPPROTO_UDP, IPPROTO_TCP
 from repro.netsim.link import Link
@@ -29,6 +32,8 @@ from repro.netsim.crosstraffic import BulkTransferSource, OnOffBurstSource
 
 __all__ = [
     "Simulator",
+    "BatchSimulator",
+    "LaneSimulator",
     "Packet",
     "IPPROTO_UDP",
     "IPPROTO_TCP",

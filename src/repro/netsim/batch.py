@@ -1,0 +1,609 @@
+"""Vectorized multi-session cohort engine (struct-of-arrays event loop).
+
+One :class:`BatchSimulator` advances *N independent sessions* ("lanes")
+through a single event loop.  The scalar :class:`~repro.netsim.engine.
+Simulator` keeps a binary heap and pays one heappush/heappop per event;
+the batch engine instead keeps its queue as **struct-of-arrays** — one
+``float64`` time array, one ``int64`` sequence array, and aligned callback
+/ handle lists — and restores order with a single vectorized
+``np.lexsort`` whenever freshly scheduled events would fire before the
+sorted arena's front.  Scheduling is an O(1) list append; sorting is
+amortized, batched, and runs in C.
+
+Equivalence contract (enforced by ``tests/test_batch_equivalence.py``):
+
+* Events fire globally in ``(time, seq)`` order, exactly like the scalar
+  engine.  Because sequence numbers increase monotonically with
+  scheduling, the projection of that order onto any one lane equals the
+  scalar engine's per-session ``(time, insertion-order)`` order — so a
+  session driven through a :class:`LaneSimulator` view observes *bit
+  identical* behaviour to the same session on its own scalar
+  ``Simulator``.  Lanes share the clock but no mutable state, so a
+  cohort of N sessions equals N independent scalar runs.
+* Built-in counters (scheduled / fired / cancelled, queue high-water)
+  are attributed **per lane**, not pooled into one global blob, and the
+  aggregate equals the fold of the per-lane counters.
+
+On top of the exact event loop, the module provides the numpy kernels
+the cohort fast path and ``benchmarks/bench_batch_engine.py`` use to
+advance whole cohorts without per-packet Python callbacks:
+
+* :func:`drop_tail_departures` — the scalar :class:`~repro.netsim.link.
+  Link` admission/serialization recurrence over arrays (bit-exact,
+  including the backlog int truncation);
+* :func:`fifo_departures` — fully vectorized Lindley recurrence for
+  uncontended/work-conserving FIFOs (documented fp tolerance: the
+  prefix-max association differs from the sequential recurrence by a
+  few ulps when the queue is busy);
+* :func:`windowed_lane_bytes` — per-(lane, window) byte totals in one
+  ``np.bincount``, the axis-wise reduction behind cohort throughput
+  windows.
+
+Cancellation is lazy exactly like the scalar engine, with the same
+compaction policy: when cancelled entries outnumber live ones the arena
+and pending buffers are merged and filtered in one vectorized pass, so
+fault-heavy cohorts cannot grow the queue without bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.engine import (
+    COMPACT_MIN_QUEUE,
+    EventHandle,
+    schedule_periodic,
+)
+from repro.obs import metrics as obs_metrics
+
+
+class BatchHandle(EventHandle):
+    """A cancellable event scheduled on one lane of a batch engine."""
+
+    __slots__ = ("lane",)
+
+    def __init__(self, time: float, seq: int, lane: int) -> None:
+        super().__init__(time, seq)
+        self.lane = lane
+
+
+class CohortHandle(EventHandle):
+    """One scheduled event whose firing is attributed to many lanes.
+
+    Used by vectorized cohort stages: a single callback advances a whole
+    array of sessions, and the engine books one fired event *per lane*
+    so per-session accounting stays truthful.
+    """
+
+    __slots__ = ("lanes",)
+
+    def __init__(self, time: float, seq: int, lanes: np.ndarray) -> None:
+        super().__init__(time, seq)
+        self.lanes = lanes
+
+
+class BatchSimulator:
+    """Shared event loop advancing N independent lanes (sessions).
+
+    The queue is split into a time-sorted *arena* (struct-of-arrays,
+    walked by a cursor) and an unsorted *pending* buffer fed by
+    ``schedule``.  The loop fires from the arena and merges the pending
+    buffer in — one vectorized lexsort — only when a pending event would
+    fire before the arena front.  For media workloads, where callbacks
+    schedule a little ahead of now, this batches thousands of events per
+    sort.
+    """
+
+    def __init__(self, n_lanes: int = 0) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        # Sorted arena (struct of arrays) + walk cursor.
+        self._at = np.empty(0, dtype=np.float64)
+        self._as = np.empty(0, dtype=np.int64)
+        self._ah: List[EventHandle] = []
+        self._acb: List[Callable[[], Any]] = []
+        self._cursor = 0
+        # Unsorted pending buffer (plain appends; merged lazily).
+        self._pt: List[float] = []
+        self._ps: List[int] = []
+        self._ph: List[EventHandle] = []
+        self._pcb: List[Callable[[], Any]] = []
+        self._pmin_time = float("inf")
+        self._cancelled_pending = 0
+        # Per-lane attribution (satellite: counters are not one global
+        # blob in batch mode).
+        self._scheduled: List[int] = []
+        self._fired: List[int] = []
+        self._cancelled: List[int] = []
+        self._lane_high_water: List[int] = []
+        self._lane_probes: Dict[int, Callable[[str, float, EventHandle], Any]] = {}
+        self.merges = 0
+        self.queue_high_water = 0
+        self._published: Dict[str, float] = {}
+        for _ in range(n_lanes):
+            self.add_lane()
+
+    # ------------------------------------------------------------------
+    # Lanes
+    # ------------------------------------------------------------------
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes (sessions) hosted by this engine."""
+        return len(self._scheduled)
+
+    def add_lane(self) -> "LaneSimulator":
+        """Add one lane and return its scalar-compatible view."""
+        lane = len(self._scheduled)
+        self._scheduled.append(0)
+        self._fired.append(0)
+        self._cancelled.append(0)
+        self._lane_high_water.append(0)
+        return LaneSimulator(self, lane)
+
+    def lane(self, index: int) -> "LaneSimulator":
+        """The view of an existing lane."""
+        if not 0 <= index < self.n_lanes:
+            raise IndexError(f"no lane {index} (have {self.n_lanes})")
+        return LaneSimulator(self, index)
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds (shared by all lanes)."""
+        return self._now
+
+    def schedule(self, lane: int, delay: float,
+                 callback: Callable[[], Any]) -> BatchHandle:
+        """Run ``callback`` on ``lane``, ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(lane, self._now + delay, callback)
+
+    def schedule_at(self, lane: int, time: float,
+                    callback: Callable[[], Any]) -> BatchHandle:
+        """Run ``callback`` on ``lane`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time:.6f}, clock already at "
+                f"{self._now:.6f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        handle = BatchHandle(time, seq, lane)
+        self._append_pending(time, seq, handle, callback)
+        self._scheduled[lane] += 1
+        live = (self._scheduled[lane] - self._fired[lane]
+                - self._cancelled[lane])
+        if live > self._lane_high_water[lane]:
+            self._lane_high_water[lane] = live
+        if self._lane_probes:
+            probe = self._lane_probes.get(lane)
+            if probe is not None:
+                probe("schedule", time, handle)
+        return handle
+
+    def schedule_cohort(self, delay: float, lanes: Sequence[int],
+                        callback: Callable[[], Any]) -> CohortHandle:
+        """Schedule one vectorized event attributed to many lanes.
+
+        The callback runs once; scheduled/fired counters advance on every
+        listed lane, so per-session accounting folds correctly even when
+        a whole cohort advances in one struct-of-arrays step.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        lanes_arr = np.asarray(lanes, dtype=np.int64)
+        if lanes_arr.size == 0:
+            raise ValueError("a cohort event needs at least one lane")
+        if lanes_arr.min() < 0 or lanes_arr.max() >= self.n_lanes:
+            raise IndexError("cohort lane out of range")
+        seq = self._seq
+        self._seq = seq + 1
+        handle = CohortHandle(time, seq, lanes_arr)
+        self._append_pending(time, seq, handle, callback)
+        for lane in lanes_arr.tolist():  # tolist: cheap Python ints
+            self._scheduled[lane] += 1
+        return handle
+
+    def _append_pending(self, time: float, seq: int, handle: EventHandle,
+                        callback: Callable[[], Any]) -> None:
+        self._pt.append(time)
+        self._ps.append(seq)
+        self._ph.append(handle)
+        self._pcb.append(callback)
+        if time < self._pmin_time:
+            self._pmin_time = time
+        depth = (len(self._at) - self._cursor) + len(self._pt)
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Revoke a scheduled event before it fires (lazy, O(1))."""
+        if not handle.active:
+            return False
+        handle._cancelled = True
+        self._cancelled_pending += 1
+        if isinstance(handle, CohortHandle):
+            for lane in handle.lanes.tolist():
+                self._cancelled[lane] += 1
+        else:
+            lane = handle.lane  # type: ignore[attr-defined]
+            self._cancelled[lane] += 1
+            if self._lane_probes:
+                probe = self._lane_probes.get(lane)
+                if probe is not None:
+                    probe("cancel", handle.time, handle)
+        depth = (len(self._at) - self._cursor) + len(self._pt)
+        if (self._cancelled_pending * 2 > depth
+                and depth >= COMPACT_MIN_QUEUE):
+            self._merge()
+        return True
+
+    # ------------------------------------------------------------------
+    # The struct-of-arrays queue
+    # ------------------------------------------------------------------
+
+    def _merge(self) -> None:
+        """Fold the pending buffer into the arena with one lexsort.
+
+        Also drops every cancelled entry (this doubles as the compaction
+        pass), so ordering keys are untouched and firing order is exactly
+        what lazy popping would have produced.
+        """
+        at = self._at[self._cursor:]
+        asq = self._as[self._cursor:]
+        ah = self._ah[self._cursor:]
+        acb = self._acb[self._cursor:]
+        if self._pt:
+            at = np.concatenate([at, np.asarray(self._pt, dtype=np.float64)])
+            asq = np.concatenate([asq, np.asarray(self._ps, dtype=np.int64)])
+            ah = ah + self._ph
+            acb = acb + self._pcb
+            self._pt, self._ps, self._ph, self._pcb = [], [], [], []
+            self._pmin_time = float("inf")
+        if self._cancelled_pending:
+            live = np.fromiter(
+                (not h._cancelled for h in ah), dtype=bool, count=len(ah)
+            )
+            if not live.all():
+                keep = np.flatnonzero(live)
+                at = at[keep]
+                asq = asq[keep]
+                ah = [ah[i] for i in keep]
+                acb = [acb[i] for i in keep]
+            self._cancelled_pending = 0
+        order = np.lexsort((asq, at))
+        self._at = at[order]
+        self._as = asq[order]
+        self._ah = [ah[i] for i in order]
+        self._acb = [acb[i] for i in order]
+        self._cursor = 0
+        self.merges += 1
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Fire events in global ``(time, seq)`` order.
+
+        Semantics mirror :meth:`repro.netsim.engine.Simulator.run`: with
+        ``until`` the clock stops there and later events stay queued;
+        without it the queue drains completely.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        if until is not None and until < self._now:
+            raise ValueError(
+                f"cannot run until {until:.6f}, clock already at "
+                f"{self._now:.6f}"
+            )
+        self._running = True
+        probes = self._lane_probes
+        try:
+            while True:
+                if self._cursor >= len(self._at):
+                    if not self._pt:
+                        break
+                    self._merge()
+                    continue
+                if self._pt and self._pmin_time < self._at[self._cursor]:
+                    self._merge()
+                    continue
+                handle = self._ah[self._cursor]
+                if handle._cancelled:
+                    self._cursor += 1
+                    self._cancelled_pending -= 1
+                    continue
+                time = float(self._at[self._cursor])
+                if until is not None and time > until:
+                    break
+                callback = self._acb[self._cursor]
+                self._cursor += 1
+                self._now = time
+                handle._fired = True
+                if isinstance(handle, CohortHandle):
+                    for lane in handle.lanes.tolist():
+                        self._fired[lane] += 1
+                else:
+                    lane = handle.lane  # type: ignore[attr-defined]
+                    self._fired[lane] += 1
+                    if probes:
+                        probe = probes.get(lane)
+                        if probe is not None:
+                            probe("fire", time, handle)
+                callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+            self._publish_metrics()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events scheduled across all lanes."""
+        return sum(self._scheduled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks fired across all lanes."""
+        return sum(self._fired)
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total cancellations across all lanes."""
+        return sum(self._cancelled)
+
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still queued, all lanes."""
+        return ((len(self._at) - self._cursor) + len(self._pt)
+                - self._cancelled_pending)
+
+    def lane_stats(self, lane: int) -> Dict[str, float]:
+        """One lane's counters — same keys as ``Simulator.stats()``."""
+        return {
+            "events_scheduled": self._scheduled[lane],
+            "events_fired": self._fired[lane],
+            "events_cancelled": self._cancelled[lane],
+            "heap_compactions": self.merges,
+            "queue_high_water": self._lane_high_water[lane],
+            "sim_time_s": self._now,
+        }
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate counters (the fold of every lane's counters)."""
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_fired": self.events_fired,
+            "events_cancelled": self.events_cancelled,
+            "heap_compactions": self.merges,
+            "queue_high_water": self.queue_high_water,
+            "lanes": self.n_lanes,
+            "sim_time_s": self._now,
+        }
+
+    def _publish_metrics(self) -> None:
+        """Flush counter deltas to the process metrics registry."""
+        totals = {
+            "netsim.batch.events_scheduled": self.events_scheduled,
+            "netsim.batch.events_fired": self.events_fired,
+            "netsim.batch.events_cancelled": self.events_cancelled,
+            "netsim.batch.merges": self.merges,
+            "netsim.batch.sim_time_s": self._now,
+        }
+        published = self._published
+        for name, total in totals.items():
+            moved = total - published.get(name, 0)
+            if moved:
+                obs_metrics.counter(name).inc(moved)
+        self._published = totals
+        obs_metrics.gauge("netsim.batch.lanes").set_max(self.n_lanes)
+        obs_metrics.gauge("netsim.batch.queue_high_water").set_max(
+            self.queue_high_water
+        )
+
+
+class LaneSimulator:
+    """One lane's scalar-compatible view of a :class:`BatchSimulator`.
+
+    Implements the :class:`~repro.netsim.engine.Simulator` surface —
+    ``now``, ``schedule``/``schedule_at``/``schedule_every``, ``cancel``,
+    ``run``, counters, ``stats()`` — so existing session machinery runs
+    on a shared batch engine unchanged.  ``run`` advances the *whole*
+    batch; calling it again for further lanes of the same cohort is a
+    no-op because the shared clock has already reached ``until``.
+    """
+
+    __slots__ = ("_batch", "_lane")
+
+    def __init__(self, batch: BatchSimulator, lane: int) -> None:
+        self._batch = batch
+        self._lane = lane
+
+    @property
+    def batch(self) -> BatchSimulator:
+        """The shared engine behind this lane."""
+        return self._batch
+
+    @property
+    def lane_index(self) -> int:
+        """This lane's index within the batch."""
+        return self._lane
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._batch.now
+
+    @property
+    def on_event(self):
+        """Optional per-lane probe, same contract as ``Simulator``."""
+        return self._batch._lane_probes.get(self._lane)
+
+    @on_event.setter
+    def on_event(self, probe) -> None:
+        if probe is None:
+            self._batch._lane_probes.pop(self._lane, None)
+        else:
+            self._batch._lane_probes[self._lane] = probe
+
+    @property
+    def events_scheduled(self) -> int:
+        """Events this lane has scheduled."""
+        return self._batch._scheduled[self._lane]
+
+    @property
+    def events_fired(self) -> int:
+        """Callbacks of this lane that ran."""
+        return self._batch._fired[self._lane]
+
+    @property
+    def events_cancelled(self) -> int:
+        """Events this lane cancelled."""
+        return self._batch._cancelled[self._lane]
+
+    @property
+    def queue_high_water(self) -> int:
+        """Most live events this lane ever had queued."""
+        return self._batch._lane_high_water[self._lane]
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], Any]) -> BatchHandle:
+        """Run ``callback`` ``delay`` seconds from now on this lane."""
+        return self._batch.schedule(self._lane, delay, callback)
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], Any]) -> BatchHandle:
+        """Run ``callback`` at absolute ``time`` on this lane."""
+        return self._batch.schedule_at(self._lane, time, callback)
+
+    def schedule_every(self, interval: float, callback: Callable[[], Any],
+                       *, start: float = 0.0,
+                       until: Optional[float] = None) -> None:
+        """Periodic scheduling — the exact scalar tick arithmetic."""
+        schedule_periodic(self, interval, callback, start=start, until=until)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Revoke one of this batch's scheduled events."""
+        return self._batch.cancel(handle)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the shared batch engine (all lanes move together)."""
+        self._batch.run(until=until)
+
+    def pending_events(self) -> int:
+        """Live events still queued on this lane."""
+        return (self.events_scheduled - self.events_fired
+                - self.events_cancelled)
+
+    def stats(self) -> Dict[str, float]:
+        """This lane's counters, scalar ``Simulator.stats()`` shaped."""
+        return self._batch.lane_stats(self._lane)
+
+
+# ----------------------------------------------------------------------
+# Vectorized service kernels (the struct-of-arrays fast path)
+# ----------------------------------------------------------------------
+
+
+def drop_tail_departures(
+    times: np.ndarray,
+    wire_bytes: np.ndarray,
+    rate_bps: float,
+    queue_bytes: int,
+    busy0: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact :class:`~repro.netsim.link.Link` admission over arrays.
+
+    Packets must be offered in non-decreasing time order.  Returns
+    ``(departures, accepted)`` where rejected packets carry NaN
+    departures.  The recurrence — including the backlog ``int``
+    truncation of ``Link.backlog_bytes`` — matches the scalar link
+    bit for bit, so kernels built on it reproduce event-driven runs.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    wire = np.asarray(wire_bytes)
+    n = len(times)
+    dep = np.full(n, np.nan)
+    accepted = np.zeros(n, dtype=bool)
+    busy = busy0
+    byte_rate = rate_bps / 8.0
+    for i in range(n):
+        now = times[i]
+        backlog = int((busy - now) * byte_rate) if busy > now else 0
+        w = int(wire[i])
+        if backlog + w > queue_bytes:
+            continue
+        start = now if now > busy else busy
+        busy = start + w * 8.0 / rate_bps
+        dep[i] = busy
+        accepted[i] = True
+    return dep, accepted
+
+
+def fifo_departures(
+    arrivals: np.ndarray,
+    service_s: np.ndarray,
+    busy0: float = 0.0,
+) -> np.ndarray:
+    """Vectorized work-conserving FIFO (Lindley recurrence), no drops.
+
+    ``dep[i] = max(arr[i], dep[i-1]) + ser[i]`` computed with prefix
+    reductions instead of a Python loop.  When a packet finds the link
+    idle the result is exactly ``arr + ser`` (bit-identical to the
+    scalar link); inside a busy period the prefix-max association can
+    differ from the sequential recurrence by a few ulps — the documented
+    fp tolerance of the batch fast path.
+    """
+    arr = np.asarray(arrivals, dtype=np.float64)
+    ser = np.asarray(service_s, dtype=np.float64)
+    if len(arr) == 0:
+        return np.empty(0)
+    csum = np.cumsum(ser)
+    prev = np.concatenate(([0.0], csum[:-1]))
+    slack = arr - prev
+    slack[0] = max(slack[0], busy0)
+    run_max = np.maximum.accumulate(slack)
+    dep = run_max + csum
+    idle = run_max == slack  # link idle at arrival: keep arr + ser exact
+    dep[idle] = arr[idle] + ser[idle]
+    return dep
+
+
+def windowed_lane_bytes(
+    timestamps: np.ndarray,
+    lanes: np.ndarray,
+    wire_bytes: np.ndarray,
+    n_lanes: int,
+    t0: float,
+    window_s: float,
+    n_windows: int,
+) -> np.ndarray:
+    """Per-(lane, window) byte totals in one axis-wise reduction.
+
+    Records before ``t0`` or beyond the last window are ignored — the
+    same head-skip semantics as
+    :func:`repro.analysis.throughput.throughput_windows_mbps`.
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    if n_windows < 1 or n_lanes < 1:
+        return np.zeros((max(n_lanes, 0), max(n_windows, 0)))
+    ts = np.asarray(timestamps, dtype=np.float64)
+    lane_arr = np.asarray(lanes, dtype=np.int64)
+    weights = np.asarray(wire_bytes, dtype=np.float64)
+    rel = ts - t0
+    idx = (rel / window_s).astype(np.int64)
+    valid = (rel >= 0) & (idx < n_windows)
+    flat = lane_arr[valid] * n_windows + idx[valid]
+    sums = np.bincount(flat, weights=weights[valid],
+                       minlength=n_lanes * n_windows)
+    return sums.reshape(n_lanes, n_windows)

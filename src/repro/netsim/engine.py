@@ -41,6 +41,39 @@ from repro.obs import metrics as obs_metrics
 COMPACT_MIN_QUEUE = 64
 
 
+def schedule_periodic(
+    sim: Any,
+    interval: float,
+    callback: Callable[[], Any],
+    *,
+    start: float = 0.0,
+    until: Optional[float] = None,
+) -> None:
+    """Run ``callback`` periodically on any scheduler exposing the
+    ``now``/``schedule_at`` surface.
+
+    The callback fires at start, start+interval, ... strictly before
+    ``until`` (when given).  Shared by the scalar :class:`Simulator` and
+    the batch engine's lane views so both produce bit-identical tick
+    times: each tick is computed multiplicatively from the base
+    (``base + (tick + 1) * interval``) with the same float operations.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    base = max(start, sim.now)
+
+    def fire(tick: int) -> None:
+        callback()
+        # Tick times are computed multiplicatively from the base so
+        # floating-point drift cannot accumulate an extra firing.
+        next_time = base + (tick + 1) * interval
+        if until is None or next_time < until - 1e-12:
+            sim.schedule_at(next_time, lambda: fire(tick + 1))
+
+    if until is None or base < until - 1e-12:
+        sim.schedule_at(base, lambda: fire(0))
+
+
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
@@ -204,20 +237,7 @@ class Simulator:
         The callback fires at start, start+interval, ... strictly before
         ``until`` (when given).
         """
-        if interval <= 0:
-            raise ValueError(f"interval must be positive, got {interval}")
-        base = max(start, self._now)
-
-        def fire(tick: int) -> None:
-            callback()
-            # Tick times are computed multiplicatively from the base so
-            # floating-point drift cannot accumulate an extra firing.
-            next_time = base + (tick + 1) * interval
-            if until is None or next_time < until - 1e-12:
-                self.schedule_at(next_time, lambda: fire(tick + 1))
-
-        if until is None or base < until - 1e-12:
-            self.schedule_at(base, lambda: fire(0))
+        schedule_periodic(self, interval, callback, start=start, until=until)
 
     def run(self, until: Optional[float] = None) -> None:
         """Process events in timestamp order.

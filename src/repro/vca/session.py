@@ -105,6 +105,12 @@ class TelepresenceSession:
             ``faults`` or ``resilience`` turns on the resilience runtime
             (degradation ladder, reconnect/failover, resilience metrics).
             Without both, the session behaves exactly as before.
+        sim: Optional externally owned event engine — anything exposing
+            the scalar :class:`~repro.netsim.engine.Simulator` surface,
+            in particular a batch engine's
+            :class:`~repro.netsim.batch.LaneSimulator` view.  When many
+            sessions share one batch engine, advance the shared clock
+            once and harvest each session with :meth:`collect`.
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class TelepresenceSession:
         path_model: Optional[PathModel] = None,
         faults: Optional["FaultSchedule"] = None,
         resilience: Optional["ResilienceConfig"] = None,
+        sim: Optional[Simulator] = None,
     ) -> None:
         if len(participants) < 2:
             raise ValueError("a session needs at least two participants")
@@ -135,7 +142,7 @@ class TelepresenceSession:
         self.participants = list(participants)
         self.initiator_index = initiator_index
         self.seed = seed
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
         self.network = Network(self.sim, path_model or DEFAULT_PATH_MODEL)
 
         devices = [p.device for p in self.participants]
@@ -310,6 +317,18 @@ class TelepresenceSession:
                             users=len(self.participants),
                             persona=self.persona_kind.value):
             self.sim.run(until=duration_s)
+        return self.collect(duration_s)
+
+    def collect(self, duration_s: float) -> SessionResult:
+        """Harvest the result once the clock has reached ``duration_s``.
+
+        Split from :meth:`run` for batched cohorts: when N sessions share
+        one engine the shared clock is advanced once, then each session
+        is collected individually.  :meth:`run` is exactly advance +
+        collect.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
         obs_metrics.counter("vca.sessions_run").inc()
         resilience = (
             self.resilience_runtime.collect(duration_s)

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.netsim.batch import BatchSimulator
 from repro.netsim.engine import Simulator
 
 
@@ -103,6 +104,95 @@ class TestPeriodic:
         sim.schedule_every(0.1, lambda: ticks.append(1), start=5.0, until=1.0)
         sim.run()
         assert ticks == []
+
+
+class TestBatchFacadeParity:
+    """The scalar scheduling scenarios, re-run on a batch engine lane.
+
+    Parametrized over cohort sizes: the lane under test shares its
+    engine with 0, 3, or 31 other lanes carrying background periodic
+    traffic, and must behave exactly like a private scalar simulator.
+    """
+
+    @pytest.fixture(params=[1, 4, 32])
+    def lane(self, request):
+        cohort = request.param
+        batch = BatchSimulator(n_lanes=cohort)
+        probe = cohort // 2
+        for i in range(cohort):  # other lanes are busy, not idle
+            if i != probe:
+                batch.lane(i).schedule_every(0.07, lambda: None, until=1.0)
+        return batch.lane(probe)
+
+    def test_events_run_in_time_order(self, lane):
+        order = []
+        lane.schedule(0.3, lambda: order.append("c"))
+        lane.schedule(0.1, lambda: order.append("a"))
+        lane.schedule(0.2, lambda: order.append("b"))
+        lane.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self, lane):
+        order = []
+        lane.schedule(0.1, lambda: order.append(1))
+        lane.schedule(0.1, lambda: order.append(2))
+        lane.run()
+        assert order == [1, 2]
+
+    def test_clock_advances_to_event_time(self, lane):
+        seen = []
+        lane.schedule(0.5, lambda: seen.append(lane.now))
+        lane.run()
+        assert seen == [0.5]
+
+    def test_negative_delay_rejected(self, lane):
+        with pytest.raises(ValueError):
+            lane.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, lane):
+        lane.schedule(1.0, lambda: None)
+        lane.run()
+        with pytest.raises(ValueError):
+            lane.schedule_at(0.5, lambda: None)
+
+    def test_run_until_leaves_future_events(self, lane):
+        fired = []
+        lane.schedule(1.0, lambda: fired.append(1))
+        lane.schedule(3.0, lambda: fired.append(3))
+        lane.run(until=2.0)
+        assert fired == [1]
+        assert lane.pending_events() == 1  # per-lane accounting
+        assert lane.now == 2.0
+
+    def test_events_scheduled_during_run_execute(self, lane):
+        order = []
+
+        def first():
+            order.append("first")
+            lane.schedule(0.1, lambda: order.append("nested"))
+
+        lane.schedule(0.1, first)
+        lane.run()
+        assert order == ["first", "nested"]
+
+    def test_not_reentrant(self, lane):
+        lane.schedule(0.1, lambda: lane.run())
+        with pytest.raises(RuntimeError):
+            lane.run()
+
+    def test_schedule_every_fires_expected_count(self, lane):
+        ticks = []
+        lane.schedule_every(0.1, lambda: ticks.append(lane.now), until=1.0)
+        lane.run()
+        assert len(ticks) == 10  # 0.0, 0.1, ..., 0.9
+
+    def test_cancel_prevents_firing(self, lane):
+        fired = []
+        handle = lane.schedule(0.5, lambda: fired.append(1))
+        assert lane.cancel(handle)
+        lane.run()
+        assert fired == []
+        assert lane.events_cancelled == 1
 
 
 class TestOrderingProperty:

@@ -8,6 +8,7 @@ from repro.devices.models import MacBook, VisionPro
 from repro.geo.regions import city
 from repro.netsim.capture import Direction
 from repro.netsim.shaper import TrafficShaper
+from repro.vca.cohort import CohortRunner
 from repro.vca.profiles import FACETIME, PROFILES, WEBEX, ZOOM, PersonaKind, Protocol
 from repro.vca.session import Participant, TelepresenceSession
 
@@ -114,6 +115,52 @@ class TestSessionTraffic:
     def test_invalid_duration(self):
         with pytest.raises(ValueError):
             two_user_session().run(0)
+
+
+class TestBatchCohortFacade:
+    """The traffic scenarios above, re-run through the batch engine.
+
+    One :class:`~repro.vca.cohort.CohortRunner` hosts the whole cohort
+    on a shared engine; every lane must exhibit the same invariants a
+    session on its own scalar simulator does.
+    """
+
+    @pytest.mark.parametrize("cohort_size", [1, 4, 32])
+    def test_traffic_invariants_hold_on_every_lane(self, cohort_size):
+        duration = 3.0 if cohort_size < 32 else 2.0
+        runner = CohortRunner()
+        for seed in range(cohort_size):
+            runner.add(lambda sim, s=seed: default_two_user_testbed().session(
+                FACETIME, seed=s, sim=sim))
+        for result in runner.run(duration):
+            cap = result.capture_of("U1")
+            up = cap.total_bytes(Direction.UPLINK)
+            mbps = up * 8 / duration / 1e6
+            assert mbps == pytest.approx(calibration.SPATIAL_PERSONA_MBPS,
+                                         abs=0.15)
+            assert cap.total_bytes(Direction.DOWNLINK) == pytest.approx(
+                up, rel=0.1)
+            receiver = result.receiver_of("U2")
+            u1 = result.addresses["U1"]
+            assert receiver.stats[u1].availability() > 0.97
+            assert not receiver.any_poor_connection()
+
+    @pytest.mark.parametrize("cohort_size", [1, 4])
+    def test_shaped_lane_starves_only_itself(self, cohort_size):
+        runner = CohortRunner()
+        sessions = [
+            runner.add(lambda sim, s=seed:
+                       default_two_user_testbed().session(FACETIME, seed=s,
+                                                          sim=sim))
+            for seed in range(cohort_size)
+        ]
+        sessions[-1].shape_uplink("U1", TrafficShaper(rate_bps=400_000))
+        results = runner.run(6.0)
+        for i, result in enumerate(results):
+            receiver = result.receiver_of("U2")
+            u1 = result.addresses["U1"]
+            starved = receiver.stats[u1].poor_connection()
+            assert starved == (i == cohort_size - 1), i
 
 
 class TestReceiverAccounting:
