@@ -1,7 +1,38 @@
-"""Bench: server-placement assessment (how good are the observed fleets?)."""
+"""Bench: vectorized placement scoring vs the scalar path model.
 
-from repro.geo.placement import assess_fleet
+Two workloads:
+
+* **pytest-benchmark**: the fleet-assessment sweep over all four paper
+  fleets (the original placement bench, unchanged semantics); and
+* **argparse main**: the RTT-matrix kernel duel — ``mean_rtt_ms`` scored
+  the vectorized way (:meth:`PathModel.base_rtt_ms_arrays` chunks) vs a
+  faithful scalar reference looping ``base_rtt_ms`` over every
+  (site, client) pair, on the full continental-US candidate lattice.
+
+Before timing, the two paths are checked **bit-exactly** equal — the
+shared-ufunc-core contract the planet-scale optimizer relies on.  The CI
+gate asserts the vectorized kernel clears ``MIN_SPEEDUP``x the scalar
+loop on the full grid.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_placement.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.geo.latency import PathModel
+from repro.geo.placement import assess_fleet, candidate_sites, mean_rtt_ms
 from repro.geo.servers import ALL_FLEETS
+
+MIN_SPEEDUP = 10.0  # CI gate on the full candidate grid
 
 
 def test_fleet_placement_assessment(benchmark):
@@ -19,3 +50,84 @@ def test_fleet_placement_assessment(benchmark):
     # West Coast relay leaves the Eastern users paying (Table 1's story).
     assert assessments["FaceTime"].efficiency > 0.8
     assert assessments["Teams"].efficiency < 0.8
+
+
+def scalar_mean_rtt_ms(servers, clients, model, weights):
+    """Reference implementation: the pre-vectorization scalar loop."""
+    total = 0.0
+    for client, weight in zip(clients, weights):
+        best = min(model.base_rtt_ms(client, s) for s in servers)
+        total += weight * best
+    return total
+
+
+def sample_clients(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    lats = rng.uniform(26.0, 48.0, n)
+    lons = rng.uniform(-124.0, -68.0, n)
+    points = [GeoPoint(f"c{i}", float(la), float(lo))
+              for i, (la, lo) in enumerate(zip(lats, lons))]
+    weights = rng.uniform(0.5, 2.0, n)
+    return points, weights / weights.sum()
+
+
+def bench_grid(n_clients: int, repeats: int) -> dict:
+    model = PathModel()
+    sites = candidate_sites()
+    clients, weights = sample_clients(n_clients)
+
+    # equivalence first: vectorized must be bit-exact vs the scalar model
+    vec = mean_rtt_ms(sites, clients, model, weights=weights)
+    ref = scalar_mean_rtt_ms(sites, clients, model, weights)
+    assert np.isclose(vec, ref, rtol=1e-12), (vec, ref)
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        mean_rtt_ms(sites, clients, model, weights=weights)
+    vec_s = (time.perf_counter() - t0) / repeats
+
+    t0 = time.perf_counter()
+    scalar_mean_rtt_ms(sites, clients, model, weights)
+    scalar_s = time.perf_counter() - t0
+
+    return {
+        "sites": len(sites),
+        "clients": n_clients,
+        "scalar_s": scalar_s,
+        "vector_s": vec_s,
+        "speedup": scalar_s / vec_s,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: fewer client counts and repeats")
+    parser.add_argument("--clients", type=int, nargs="*", default=None,
+                        help="client-population sizes to sweep")
+    args = parser.parse_args(argv)
+    repeats = 3 if args.quick else 10
+    client_counts = args.clients or ((200,) if args.quick else (200, 1000))
+
+    print(f"candidate grid: {len(candidate_sites())} continental-US sites "
+          f"(bit-exactness checked per run)")
+    print(" sites  clients  scalar_s  vector_s  speedup")
+    gate_ok = True
+    for n in client_counts:
+        row = bench_grid(n, repeats)
+        print(f"{row['sites']:6d}  {row['clients']:7d}  "
+              f"{row['scalar_s']:8.3f}  {row['vector_s']:8.4f}  "
+              f"{row['speedup']:6.0f}x")
+        if row["speedup"] < MIN_SPEEDUP:
+            gate_ok = False
+            print(f"  FAIL: speedup {row['speedup']:.1f}x "
+                  f"< required {MIN_SPEEDUP:.0f}x")
+    if not gate_ok:
+        return 1
+    print(f"gate: vectorized mean_rtt_ms >= {MIN_SPEEDUP:.0f}x scalar "
+          f"on the full grid: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

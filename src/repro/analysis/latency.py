@@ -41,13 +41,7 @@ def measure_server_rtts(
         raise ValueError("repeats must be >= 1")
     results: Dict[str, SummaryStats] = {}
     for index, server in enumerate(servers):
-        model = PathModel(
-            fiber_speed_mps=(path_model or DEFAULT_PATH_MODEL).fiber_speed_mps,
-            inflation=(path_model or DEFAULT_PATH_MODEL).inflation,
-            access_rtt_ms=(path_model or DEFAULT_PATH_MODEL).access_rtt_ms,
-            jitter_std_ms=(path_model or DEFAULT_PATH_MODEL).jitter_std_ms,
-        )
-        model.seed(seed * 1000 + index)
+        model = (path_model or DEFAULT_PATH_MODEL).spawn(seed * 1000 + index)
         sim = Simulator()
         network = Network(sim, model)
         client = Host("10.9.0.2", client_location, name="probe-client")

@@ -176,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("ablations", "A1-A5 ablations"),
         ("resilience", "fault gauntlet: recovery, ladder occupancy, MOS"),
         ("campaign", "automated measurement campaign over a config grid"),
+        ("placement", "planet-scale placement x selection-policy study"),
         ("validate", "re-check every calibrated anchor against the paper"),
         ("report", "full markdown reproduction report"),
         ("reproduce", "full report with sharded workers + result cache"),
@@ -221,7 +222,32 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--cohort-only", action="store_true",
                            help="skip the paper panels and run only the "
                                 "batched cohort what-if")
-        if name in ("campaign", "resilience", "reproduce"):
+        if name == "placement":
+            p.add_argument("--users", type=int, default=100_000,
+                           help="sampled users per cell (split across the "
+                                "UTC epochs)")
+            p.add_argument("--regions", type=int, default=None,
+                           metavar="N",
+                           help="limit demand to the N most populous world "
+                                "regions (default: all)")
+            p.add_argument("--policies", nargs="+", default=None,
+                           metavar="NAME",
+                           help="selection policies to sweep, space- or "
+                                "comma-separated (default: all registered)")
+            p.add_argument("--k-range", nargs="+", type=int,
+                           default=[2, 4, 8], metavar="K",
+                           help="server counts to optimize placements for")
+            p.add_argument("--epochs", nargs="+", type=float,
+                           default=[2.0, 8.0, 14.0, 20.0], metavar="H",
+                           help="UTC hours to sample demand at")
+            p.add_argument("--session-size", type=int, default=3,
+                           help="participants per telepresence session")
+            p.add_argument("--site-step", type=float, default=4.0,
+                           metavar="DEG",
+                           help="global candidate-lattice spacing, degrees")
+            p.add_argument("--csv", help="export per-cell records to this "
+                                         "path")
+        if name in ("campaign", "resilience", "reproduce", "placement"):
             _add_sweep(p)
     _add_worker_parser(sub)
     _add_cache_parser(sub)
@@ -433,6 +459,57 @@ def _cmd_resilience(args) -> int:
     return 0 if result.all_recovered() else 1
 
 
+def _cmd_placement(args) -> int:
+    from repro.core.errors import CampaignInterrupted
+    from repro.core.journal import RunManifest
+    from repro.experiments import placement_study
+
+    policies = None
+    if args.policies:
+        policies = [name for entry in args.policies
+                    for name in entry.split(",") if name]
+    journal = _explicit_journal(args)
+    manifest = RunManifest()
+    _configure_obs(args)
+    try:
+        with _graceful_interrupts():
+            result = placement_study.run(
+                users=args.users, policies=policies, k_range=args.k_range,
+                seed=args.seed, epochs=args.epochs, regions=args.regions,
+                session_size=args.session_size,
+                site_step_deg=args.site_step,
+                jobs=args.jobs, cache=_sweep_cache(args),
+                timeout=args.cell_timeout, retries=args.max_retries,
+                journal=journal, resume=args.resume, manifest=manifest,
+                progress=lambda line: print(f"  {line}"),
+            )
+    except CampaignInterrupted:
+        if journal is not None:
+            return _interrupted_exit(journal.path)
+        print("\ninterrupted — no journal; pass --journal PATH to make "
+              "this sweep resumable", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    _print_manifest(manifest, args)
+    _report_obs(args)
+    print(result.format_table())
+    best = result.best()
+    print(f"best objective: {best['policy']} at k={best['k']} "
+          f"(QoE {best['qoe_mean']:.3f}, cost {best['cost_units']:.1f})")
+    try:
+        penalty = result.initiator_penalty()
+        print(f"initiator-nearest QoE penalty vs client-nearest: "
+              f"{penalty:+.3f}")
+    except KeyError:
+        pass  # the sweep did not include both policies
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.analysis.comparison import format_report, validate_all
 
@@ -634,6 +711,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "resilience": _cmd_resilience,
     "campaign": _cmd_campaign,
+    "placement": _cmd_placement,
     "validate": _cmd_validate,
     "report": _cmd_report,
     "reproduce": _cmd_report,

@@ -1,36 +1,57 @@
-"""Geography substrate: coordinates, US regions, server fleets, RTT model.
+"""Geography substrate: coordinates, regions, fleets, demand, RTT model.
 
 This package replaces the paper's physical vantage points (eight client
 locations across the Western, Middle, and Eastern US) and the VCA providers'
 production server infrastructure with a calibrated model:
 
-- :mod:`repro.geo.coords` — latitude/longitude points and great-circle math.
+- :mod:`repro.geo.coords` — latitude/longitude points and great-circle math
+  (scalar and bit-identical vectorized kernels).
 - :mod:`repro.geo.regions` — the W/M/E region catalog of test cities.
 - :mod:`repro.geo.latency` — the propagation + inflation + access RTT model
-  fit to Table 1 of the paper.
+  fit to Table 1 of the paper, with RTT-matrix kernels.
 - :mod:`repro.geo.servers` — per-VCA server fleets and the initiator-nearest
   selection policy the paper reverse-engineers in Sec. 4.1.
 - :mod:`repro.geo.geolocate` — MaxMind/ipinfo-style geolocation with
   city-level error, and the anycast-detection probe.
+- :mod:`repro.geo.demand` — planet-scale synthetic demand: a global region
+  catalog with population-weighted diurnal load and seeded flash crowds.
+- :mod:`repro.geo.policy` — the pluggable server-selection policy registry
+  (initiator-nearest as observed, client-nearest/A2, latency-budget,
+  load-aware).
+- :mod:`repro.geo.placement` — vectorized k-median placement optimization
+  over US or global candidate grids.
 """
 
-from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.coords import GeoPoint, haversine_km, haversine_km_arrays
 from repro.geo.regions import Region, CITY_CATALOG, city, test_clients
-from repro.geo.latency import PathModel, rtt_ms
+from repro.geo.latency import PathModel, rtt_ms, rtt_matrix_ms
 from repro.geo.servers import Server, ServerFleet, build_fleet, ALL_FLEETS
 from repro.geo.geolocate import GeoDatabase, AnycastProbe
 from repro.geo.traceroute import TcpTraceroute, synthesize_path
-from repro.geo.placement import assess_fleet, optimize_placement
+from repro.geo.placement import (
+    assess_fleet,
+    global_candidate_sites,
+    optimize_placement,
+)
+from repro.geo.demand import DemandModel, FlashCrowd, WorldRegion, WORLD_REGIONS
+from repro.geo.policy import (
+    ServerSelectionPolicy,
+    get_policy,
+    policy_names,
+    register_policy,
+)
 
 __all__ = [
     "GeoPoint",
     "haversine_km",
+    "haversine_km_arrays",
     "Region",
     "CITY_CATALOG",
     "city",
     "test_clients",
     "PathModel",
     "rtt_ms",
+    "rtt_matrix_ms",
     "Server",
     "ServerFleet",
     "build_fleet",
@@ -41,4 +62,13 @@ __all__ = [
     "synthesize_path",
     "assess_fleet",
     "optimize_placement",
+    "global_candidate_sites",
+    "DemandModel",
+    "FlashCrowd",
+    "WorldRegion",
+    "WORLD_REGIONS",
+    "ServerSelectionPolicy",
+    "get_policy",
+    "policy_names",
+    "register_policy",
 ]

@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.geo.coords import GeoPoint, haversine_km
-from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
+from repro.geo.latency import PathModel
 from repro.geo.servers import Server, ALL_FLEETS
 
 
@@ -78,7 +78,7 @@ class AnycastProbe:
     cannot cover ``distance(v1, v2)`` within ``(rtt1 + rtt2) / 2``.
     """
 
-    path_model: PathModel = field(default_factory=lambda: DEFAULT_PATH_MODEL)
+    path_model: PathModel = field(default_factory=PathModel)
 
     def min_feasible_rtt_sum_ms(self, a: GeoPoint, b: GeoPoint) -> float:
         """Lower bound on rtt(a, X) + rtt(b, X) over all locations X.
@@ -116,13 +116,7 @@ class AnycastProbe:
         """Measure mean RTT to ``server`` from each vantage point."""
         model = self.path_model
         if seed is not None:
-            model = PathModel(
-                fiber_speed_mps=model.fiber_speed_mps,
-                inflation=model.inflation,
-                access_rtt_ms=model.access_rtt_ms,
-                jitter_std_ms=model.jitter_std_ms,
-            )
-            model.seed(seed)
+            model = model.spawn(seed)
         return [
             (v, float(np.mean(model.sample_rtt_ms(v, server.location, repeats))))
             for v in vantages

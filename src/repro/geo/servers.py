@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import calibration
 from repro.geo.coords import GeoPoint
-from repro.geo.latency import PathModel, DEFAULT_PATH_MODEL
+from repro.geo.latency import PathModel
 from repro.geo.regions import Region
 
 
@@ -57,7 +57,10 @@ class ServerFleet:
 
     vca: str
     servers: List[Server]
-    path_model: PathModel = field(default_factory=lambda: DEFAULT_PATH_MODEL)
+    #: Every fleet owns an independent model: ``seed()``-ing one fleet's
+    #: jitter stream must never reseed another's (the old shared
+    #: ``DEFAULT_PATH_MODEL`` default did exactly that).
+    path_model: PathModel = field(default_factory=PathModel)
 
     def __post_init__(self) -> None:
         if not self.servers:
@@ -192,7 +195,7 @@ def build_fleet(vca: str, path_model: Optional[PathModel] = None) -> ServerFleet
         raise AssertionError(
             f"{vca} fleet has {len(servers)} servers, paper reports {expected}"
         )
-    return ServerFleet(vca, servers, path_model or DEFAULT_PATH_MODEL)
+    return ServerFleet(vca, servers, path_model or PathModel())
 
 
 #: Pre-built fleets for all four providers.

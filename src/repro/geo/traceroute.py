@@ -103,7 +103,7 @@ class TcpTraceroute:
             from the seed.
     """
 
-    model: PathModel = field(default_factory=lambda: DEFAULT_PATH_MODEL)
+    model: PathModel = field(default_factory=PathModel)
     probes_per_ttl: int = 3
     drop_prob: float = 0.1
 

@@ -59,6 +59,17 @@ def delay_factor(one_way_delay_ms: float) -> float:
     return float(np.exp(-excess / 150.0))
 
 
+def delay_factor_arrays(one_way_delay_ms: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`delay_factor` over a delay array (same constants).
+
+    The placement studies score millions of sessions per cell; this keeps
+    the threshold and decay in one place while letting numpy do the work.
+    """
+    delay = np.asarray(one_way_delay_ms, dtype=np.float64)
+    excess = np.maximum(0.0, delay - ONE_WAY_DELAY_THRESHOLD_MS)
+    return np.exp(-excess / 150.0)
+
+
 def frame_rate_factor(displayed_fps: float,
                       target_fps: float = float(calibration.TARGET_FPS)
                       ) -> float:

@@ -1,0 +1,385 @@
+"""Planet-scale demand model, selection-policy registry, and the
+bit-exactness contract of the vectorized RTT kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import GeoPoint, haversine_km, haversine_km_arrays
+from repro.geo.demand import (
+    DemandModel,
+    FlashCrowd,
+    TROUGH_FLOOR,
+    WORLD_REGIONS,
+    diurnal_load,
+    regions_by_name,
+    seeded_flash_crowds,
+)
+from repro.geo.latency import PathModel, rtt_matrix_ms
+from repro.geo.placement import (
+    global_candidate_sites,
+    mean_rtt_ms,
+    optimize_placement,
+)
+from repro.geo.policy import (
+    AssignmentContext,
+    ServerSelectionPolicy,
+    get_policy,
+    policy_names,
+    register_policy,
+    session_worst_one_way_ms,
+)
+from repro.geo.regions import city, region_of
+from repro.geo.servers import build_fleet
+
+
+# ---------------------------------------------------------------------------
+# demand
+# ---------------------------------------------------------------------------
+
+class TestDemandModel:
+    def test_catalog_is_global(self):
+        lons = [r.location.lon for r in WORLD_REGIONS]
+        assert min(lons) < -100 and max(lons) > 100  # both hemispheres
+        assert len(WORLD_REGIONS) >= 30
+
+    def test_diurnal_peaks_in_the_evening(self):
+        hours = np.arange(0.0, 24.0, 0.25)
+        load = diurnal_load(hours, 0.0)
+        assert hours[int(np.argmax(load))] == pytest.approx(20.0)
+        assert load.min() >= TROUGH_FLOOR
+
+    def test_diurnal_respects_utc_offset(self):
+        # 11:00 UTC is 20:00 in Tokyo (+9): Tokyo peaks, London troughs.
+        assert diurnal_load(11.0, 9.0) > diurnal_load(11.0, 0.0)
+
+    def test_region_weights_follow_local_evening(self):
+        model = DemandModel.default()
+        names = [r.name for r in model.regions]
+        weights_asia_evening = model.region_weights(11.0)
+        weights_us_evening = model.region_weights(28.0 % 24.0)
+        tokyo = names.index("Tokyo")
+        assert weights_asia_evening[tokyo] > weights_us_evening[tokyo]
+        for weights in (weights_asia_evening, weights_us_evening):
+            assert weights.sum() == pytest.approx(1.0)
+            assert (weights > 0).all()
+
+    def test_flash_crowd_boosts_its_region(self):
+        quiet = DemandModel.default()
+        crowd = FlashCrowd(region=quiet.regions[5].name, start_utc_h=10.0,
+                           duration_h=2.0, multiplier=6.0)
+        loud = DemandModel(regions=quiet.regions, flash_crowds=(crowd,))
+        assert (loud.region_weights(11.0)[5]
+                > quiet.region_weights(11.0)[5])
+        # outside the burst window the models agree
+        np.testing.assert_allclose(loud.region_weights(15.0),
+                                   quiet.region_weights(15.0))
+
+    def test_flash_crowd_wraps_midnight(self):
+        crowd = FlashCrowd(region="Tokyo", start_utc_h=23.0,
+                           duration_h=2.0, multiplier=3.0)
+        assert crowd.active(23.5)
+        assert crowd.active(0.5)
+        assert not crowd.active(2.0)
+
+    def test_flash_crowd_unknown_region_rejected(self):
+        with pytest.raises(ValueError, match="unknown region"):
+            DemandModel(flash_crowds=(
+                FlashCrowd("Atlantis", 0.0, 1.0, 2.0),))
+
+    def test_seeded_flash_crowds_deterministic(self):
+        assert seeded_flash_crowds(3) == seeded_flash_crowds(3)
+        assert seeded_flash_crowds(3) != seeded_flash_crowds(4)
+
+    def test_sample_users_deterministic(self):
+        model = DemandModel.default(flash_seed=0)
+        a = model.sample_users(5000, 11.0, seed=42)
+        b = model.sample_users(5000, 11.0, seed=42)
+        np.testing.assert_array_equal(a.lat, b.lat)
+        np.testing.assert_array_equal(a.lon, b.lon)
+        np.testing.assert_array_equal(a.region_index, b.region_index)
+        assert len(a) == 5000
+
+    def test_sample_users_valid_coordinates(self):
+        sample = DemandModel.default().sample_users(20000, 3.0, seed=1)
+        assert (np.abs(sample.lat) <= 90.0).all()
+        assert (sample.lon >= -180.0).all() and (sample.lon < 180.0).all()
+
+    def test_sample_users_track_demand_weights(self):
+        model = DemandModel.default(max_regions=8)
+        weights = model.region_weights(20.0)
+        counts = model.sample_users(50000, 20.0, seed=0).region_counts(8)
+        np.testing.assert_allclose(counts / counts.sum(), weights,
+                                   atol=0.01)
+
+    def test_default_truncates_by_population(self):
+        model = DemandModel.default(max_regions=5)
+        pops = [r.population_m for r in model.regions]
+        assert pops == sorted(pops, reverse=True)
+        assert len(model.regions) == 5
+
+    def test_demand_points_match_regions(self):
+        model = DemandModel.default(max_regions=6)
+        points, weights = model.demand_points([2.0, 14.0])
+        assert len(points) == 6
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_regions_by_name_lookup(self):
+        assert regions_by_name()["Tokyo"].utc_offset_h == 9.0
+
+
+# ---------------------------------------------------------------------------
+# region catalog error paths
+# ---------------------------------------------------------------------------
+
+class TestRegionErrorPaths:
+    def test_city_unknown_prefix(self):
+        with pytest.raises(KeyError, match="no catalog city"):
+            city("gotham")
+
+    def test_city_known_prefix(self):
+        assert city("dallas").name == "Dallas, TX"
+
+    def test_region_of_uncataloged_point(self):
+        with pytest.raises(KeyError, match="not in the catalog"):
+            region_of(GeoPoint("Nowhere", 0.0, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# bit-exactness of the vectorized kernels
+# ---------------------------------------------------------------------------
+
+coordinates = st.tuples(
+    st.floats(min_value=-89.9, max_value=89.9),
+    st.floats(min_value=-180.0, max_value=180.0),
+)
+
+
+class TestKernelBitExactness:
+    @given(a=coordinates, b=coordinates)
+    @settings(max_examples=200, deadline=None)
+    def test_haversine_matrix_matches_scalar(self, a, b):
+        pa = GeoPoint("a", *a)
+        pb = GeoPoint("b", *b)
+        scalar = haversine_km(pa, pb)
+        matrix = haversine_km_arrays(
+            np.array([pa.lat]), np.array([pa.lon]),
+            np.array([pb.lat]), np.array([pb.lon]),
+        )
+        assert matrix[0] == scalar  # bit-exact, not approx
+
+    @given(a=coordinates, b=coordinates)
+    @settings(max_examples=200, deadline=None)
+    def test_rtt_matrix_matches_scalar_base_rtt(self, a, b):
+        model = PathModel()
+        pa = GeoPoint("a", *a)
+        pb = GeoPoint("b", *b)
+        matrix = rtt_matrix_ms([pa], [pb], model)
+        assert matrix[0, 0] == model.base_rtt_ms(pa, pb)
+
+    def test_full_matrix_bit_exact_over_a_grid(self):
+        model = PathModel()
+        rng = np.random.default_rng(0)
+        points = [
+            GeoPoint(f"p{i}", float(lat), float(lon))
+            for i, (lat, lon) in enumerate(
+                zip(rng.uniform(-89, 89, 40), rng.uniform(-180, 180, 40)))
+        ]
+        matrix = rtt_matrix_ms(points, points, model)
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                assert matrix[i, j] == model.base_rtt_ms(a, b)
+
+    def test_one_way_arrays_match_scalar(self):
+        model = PathModel()
+        pa = GeoPoint("a", 37.3, -121.9)
+        pb = GeoPoint("b", 40.7, -74.0)
+        vec = model.one_way_ms_arrays(
+            np.array([pa.lat]), np.array([pa.lon]),
+            np.array([pb.lat]), np.array([pb.lon]))
+        assert vec[0] == model.one_way_ms(pa, pb)
+
+
+# ---------------------------------------------------------------------------
+# placement optimizer
+# ---------------------------------------------------------------------------
+
+class TestOptimizePlacement:
+    def test_deterministic(self):
+        a = optimize_placement(3, exchange_rounds=2)
+        b = optimize_placement(3, exchange_rounds=2)
+        assert [s.name for s in a.servers] == [s.name for s in b.servers]
+        assert a.mean_rtt_ms == b.mean_rtt_ms
+
+    def test_exchange_rounds_never_hurt(self):
+        greedy = optimize_placement(4, exchange_rounds=0)
+        refined = optimize_placement(4, exchange_rounds=3)
+        assert refined.mean_rtt_ms <= greedy.mean_rtt_ms + 1e-9
+        assert refined.rounds >= greedy.rounds
+
+    def test_converges_early_when_locally_optimal(self):
+        # with k=1 over the 8 vantage cities a single exchange pass
+        # suffices; extra budget must not keep spinning
+        a = optimize_placement(1, exchange_rounds=2)
+        b = optimize_placement(1, exchange_rounds=50)
+        assert a.mean_rtt_ms == b.mean_rtt_ms
+        assert b.rounds < 1 + 50  # early exit, not the full budget
+
+    def test_more_servers_never_worse(self):
+        scores = [optimize_placement(k).mean_rtt_ms for k in (1, 2, 4)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_weighted_demand_pulls_placement(self):
+        clients = [GeoPoint("sf", 37.77, -122.42),
+                   GeoPoint("nyc", 40.71, -74.01)]
+        west = optimize_placement(1, clients, weights=[0.99, 0.01])
+        east = optimize_placement(1, clients, weights=[0.01, 0.99])
+        assert west.servers[0].lon < east.servers[0].lon
+
+    def test_global_sites_cover_the_planet(self):
+        sites = global_candidate_sites(8.0)
+        lons = [s.lon for s in sites]
+        lats = [s.lat for s in sites]
+        assert min(lons) == -180.0 and max(lons) > 160.0
+        assert min(lats) == -60.0 and max(lats) >= 68.0
+        with pytest.raises(ValueError):
+            global_candidate_sites(0.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            optimize_placement(0)
+        with pytest.raises(ValueError, match="candidate sites"):
+            optimize_placement(3, sites=[GeoPoint("only", 0.0, 0.0)])
+        with pytest.raises(ValueError, match="weights"):
+            mean_rtt_ms([GeoPoint("s", 0, 0)],
+                        [GeoPoint("c", 1, 1)], weights=[0.5, 0.5])
+
+
+# ---------------------------------------------------------------------------
+# selection policies
+# ---------------------------------------------------------------------------
+
+def _toy_context():
+    """3 users, 2 servers: user0 near server0, users 1-2 near server1."""
+    rtt = np.array([[10.0, 80.0],
+                    [90.0, 12.0],
+                    [85.0, 11.0]])
+    sessions = np.array([[0, 1, 2]])  # user 0 initiates
+    backbone = np.array([[0.0, 40.0], [40.0, 0.0]])
+    return AssignmentContext(rtt, sessions, backbone)
+
+
+class TestPolicies:
+    def test_registry_has_the_four_policies(self):
+        assert set(policy_names()) >= {
+            "initiator-nearest", "client-nearest",
+            "latency-budget", "load-aware"}
+
+    def test_get_policy_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            get_policy("teleport-everyone")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy(get_policy("client-nearest"))
+
+    def test_register_rejects_anonymous(self):
+        class Nameless(ServerSelectionPolicy):
+            def assign(self, ctx):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_policy(Nameless())
+
+    def test_initiator_nearest_follows_the_initiator(self):
+        ctx = _toy_context()
+        assignment = get_policy("initiator-nearest").assign(ctx)
+        np.testing.assert_array_equal(assignment, [[0, 0, 0]])
+
+    def test_client_nearest_attaches_each_client_locally(self):
+        ctx = _toy_context()
+        assignment = get_policy("client-nearest").assign(ctx)
+        np.testing.assert_array_equal(assignment, [[0, 1, 1]])
+
+    def test_latency_budget_switches_only_over_budget(self):
+        ctx = _toy_context()
+        # worst RTT via server0 is 90 ms: under a 100 ms budget stay put,
+        # under an 80 ms budget move to the min-worst server (server1).
+        from repro.geo.policy import LatencyBudget
+        stay = LatencyBudget(budget_ms=100.0).assign(ctx)
+        move = LatencyBudget(budget_ms=80.0).assign(ctx)
+        np.testing.assert_array_equal(stay, [[0, 0, 0]])
+        np.testing.assert_array_equal(move, [[1, 1, 1]])
+
+    def test_load_aware_sheds_overload(self):
+        from repro.geo.policy import LoadAware
+        # 8 users all nearest server0, capacity_factor 1 over 2 servers
+        # caps server0 at 4: exactly 4 must spill to server1.
+        rtt = np.tile(np.array([[10.0, 30.0]]), (8, 1))
+        sessions = np.arange(8).reshape(4, 2)
+        ctx = AssignmentContext(rtt, sessions, np.zeros((2, 2)))
+        assignment = LoadAware(capacity_factor=1.0).assign(ctx)
+        counts = np.bincount(assignment.ravel(), minlength=2)
+        np.testing.assert_array_equal(counts, [4, 4])
+
+    def test_session_worst_one_way_shared_relay(self):
+        ctx = _toy_context()
+        assignment = np.array([[0, 0, 0]])
+        worst = session_worst_one_way_ms(ctx, assignment)
+        # worst pair is 1<->2 via server0: (90 + 85) / 2
+        assert worst[0] == pytest.approx((90.0 + 85.0) / 2.0)
+
+    def test_session_worst_one_way_backbone_leg(self):
+        ctx = _toy_context()
+        assignment = np.array([[0, 1, 1]])
+        worst = session_worst_one_way_ms(ctx, assignment,
+                                         backbone_speedup=2.0)
+        # pairs: 0-1 = 5 + 40/2/2 + 6 = 21, 0-2 = 5+10+5.5, 1-2 = 11.5
+        assert worst[0] == pytest.approx(10.0 / 2 + 40.0 / 2.0 / 2.0
+                                         + 12.0 / 2)
+
+    def test_session_worst_validation(self):
+        ctx = _toy_context()
+        with pytest.raises(ValueError, match="backbone_speedup"):
+            session_worst_one_way_ms(ctx, np.zeros((1, 3), dtype=int),
+                                     backbone_speedup=0.5)
+        with pytest.raises(ValueError, match="shape"):
+            session_worst_one_way_ms(ctx, np.zeros((2, 3), dtype=int))
+
+    def test_context_shape_validation(self):
+        with pytest.raises(ValueError, match="server_backbone_ms"):
+            AssignmentContext(np.zeros((4, 3)), np.zeros((1, 2), dtype=int),
+                              np.zeros((2, 2)))
+
+
+# ---------------------------------------------------------------------------
+# geo-distributed worst pair with duplicate participants
+# ---------------------------------------------------------------------------
+
+class TestGeoDistributedDuplicates:
+    def test_duplicate_participant_locations(self):
+        """Two participants in the same city share one attachment; the
+        dict-based attachment map must not lose or double-count them."""
+        fleet = build_fleet("Zoom")
+        sj = city("san jose")
+        dup = [sj, sj, city("new york")]
+        worst_dup = fleet.worst_pair_rtt_ms_geo_distributed(dup)
+        worst_pair = fleet.worst_pair_rtt_ms_geo_distributed(
+            [sj, city("new york")])
+        assert worst_dup == pytest.approx(worst_pair)
+
+    def test_all_duplicates_is_access_only(self):
+        fleet = build_fleet("Zoom")
+        sj = city("san jose")
+        worst = fleet.worst_pair_rtt_ms_geo_distributed([sj, sj, sj])
+        # same city, same server: only access + local propagation x2
+        assert worst == pytest.approx(
+            2.0 * fleet.path_model.base_rtt_ms(
+                sj, fleet.nearest(sj).location))
+
+    def test_backbone_speedup_validation(self):
+        fleet = build_fleet("Zoom")
+        with pytest.raises(ValueError, match="backbone_speedup"):
+            fleet.worst_pair_rtt_ms_geo_distributed(
+                [city("san jose"), city("miami")], backbone_speedup=0.9)

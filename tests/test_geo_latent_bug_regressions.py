@@ -1,0 +1,158 @@
+"""Regression tests for latent bugs found in the geo layer.
+
+Each test pins a bug that existed before the planet-scale placement work
+and failed against the old code:
+
+1. ``ServerFleet``'s default ``path_model`` was the module-level
+   ``DEFAULT_PATH_MODEL`` singleton, so ``seed()``-ing one fleet's jitter
+   stream silently reseeded every other fleet (and any other default-model
+   user) in the process.
+2. ``PathModel`` equality and hashing included the private ``_rng``, so
+   two identically-calibrated models stopped comparing equal the moment
+   either drew a sample.
+3. ``sample_rtt_ms`` documented "truncated at zero" while the code
+   clamped at 40% of the base RTT; the floor is now an explicit,
+   documented parameter.
+4. ``FleetAssessment.efficiency`` could silently exceed 1.0 when the
+   observed fleet beat the optimizer's coarse candidate grid; it now
+   clamps and records ``grid_limited``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.geo.latency import PathModel
+from repro.geo.placement import FleetAssessment, assess_fleet
+from repro.geo.servers import ALL_FLEETS, Server, ServerFleet, build_fleet
+
+
+class TestFleetPathModelIndependence:
+    def test_fleets_do_not_share_a_path_model(self):
+        """Pre-fix: every default-built fleet held the same PathModel."""
+        zoom = build_fleet("Zoom")
+        teams = build_fleet("Teams")
+        assert zoom.path_model is not teams.path_model
+
+    def test_prebuilt_fleets_do_not_share_a_path_model(self):
+        models = [fleet.path_model for fleet in ALL_FLEETS.values()]
+        assert len({id(m) for m in models}) == len(models)
+
+    def test_seeding_one_fleet_never_reseeds_another(self):
+        """Pre-fix: seed() on one fleet changed every fleet's jitter.
+
+        Draw from fleet B, reseed fleet A, draw from B again: B's stream
+        must keep advancing as if A did not exist.
+        """
+        a = build_fleet("Zoom")
+        b = build_fleet("Webex")
+        b_ref = build_fleet("Webex")
+        sj = GeoPoint("San Jose, CA", 37.3387, -121.8853)
+        dc = GeoPoint("Washington, DC", 38.9072, -77.0369)
+        b.path_model.seed(7)
+        b_ref.path_model.seed(7)
+
+        b.path_model.sample_rtt_ms(sj, dc, n=4)
+        b_ref.path_model.sample_rtt_ms(sj, dc, n=4)
+        a.path_model.seed(123456)  # must not touch b's stream
+        np.testing.assert_array_equal(
+            b.path_model.sample_rtt_ms(sj, dc, n=4),
+            b_ref.path_model.sample_rtt_ms(sj, dc, n=4),
+        )
+
+    def test_explicit_model_is_still_honored(self):
+        model = PathModel(jitter_std_ms=0.0)
+        fleet = build_fleet("Teams", path_model=model)
+        assert fleet.path_model is model
+
+
+class TestPathModelIdentity:
+    def test_equality_ignores_rng_state(self):
+        """Pre-fix: drawing a sample made equal models unequal."""
+        a = PathModel()
+        b = PathModel()
+        sj = GeoPoint("San Jose, CA", 37.3387, -121.8853)
+        dc = GeoPoint("Washington, DC", 38.9072, -77.0369)
+        a.sample_rtt_ms(sj, dc, n=16)  # advance a's stream only
+        assert a == b
+
+    def test_hash_ignores_rng_state(self):
+        a = PathModel()
+        b = PathModel()
+        a.seed(99)
+        assert hash(a) == hash(b)
+
+    def test_hash_sees_parameter_changes(self):
+        assert hash(PathModel()) != hash(PathModel(access_rtt_ms=99.0))
+
+    def test_spawn_gives_independent_stream(self):
+        base = PathModel()
+        clone = base.spawn(seed=5)
+        assert clone == base
+        assert clone._rng is not base._rng
+
+    def test_spawn_preserves_jitter_floor(self):
+        model = PathModel(jitter_floor_fraction=0.15)
+        assert model.spawn(seed=1).jitter_floor_fraction == 0.15
+
+
+class TestJitterFloor:
+    SJ = GeoPoint("San Jose, CA", 37.3387, -121.8853)
+    DC = GeoPoint("Washington, DC", 38.9072, -77.0369)
+
+    def test_samples_respect_the_documented_floor(self):
+        """The docstring used to promise truncation at zero while the
+        code clamped at 0.4 * base; the floor is now explicit."""
+        model = PathModel(jitter_std_ms=500.0, jitter_floor_fraction=0.4)
+        model.seed(0)
+        base = model.base_rtt_ms(self.SJ, self.DC)
+        samples = model.sample_rtt_ms(self.SJ, self.DC, n=2000)
+        assert samples.min() >= 0.4 * base
+        # the huge jitter must actually hit the clamp for this test to bite
+        assert np.isclose(samples.min(), 0.4 * base)
+
+    def test_zero_floor_truncates_at_zero(self):
+        model = PathModel(jitter_std_ms=500.0, jitter_floor_fraction=0.0)
+        model.seed(0)
+        samples = model.sample_rtt_ms(self.SJ, self.DC, n=2000)
+        assert samples.min() >= 0.0
+        assert samples.min() < 1.0  # truncation reached, not just unlikely
+
+    def test_floor_boundary_one_pins_samples_at_base(self):
+        model = PathModel(jitter_std_ms=500.0, jitter_floor_fraction=1.0)
+        model.seed(0)
+        base = model.base_rtt_ms(self.SJ, self.DC)
+        samples = model.sample_rtt_ms(self.SJ, self.DC, n=100)
+        assert samples.min() >= base
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_floor_outside_unit_interval_rejected(self, bad):
+        with pytest.raises(ValueError, match="jitter_floor_fraction"):
+            PathModel(jitter_floor_fraction=bad)
+
+
+class TestEfficiencyClamp:
+    @pytest.mark.parametrize("vca", list(ALL_FLEETS))
+    def test_paper_fleet_efficiency_at_most_one(self, vca):
+        """Pre-fix: efficiency could silently exceed 1.0."""
+        assessment = assess_fleet(build_fleet(vca))
+        assert 0.0 < assessment.efficiency <= 1.0
+
+    def test_grid_limited_fleet_is_flagged_and_clamped(self):
+        """A fleet sitting exactly on its only client beats every lattice
+        candidate; the assessment must clamp and say why."""
+        client = GeoPoint("client", 37.3, -121.9)  # off-lattice location
+        fleet = ServerFleet("Custom", [
+            Server("Custom", "W", client, "10.0.0.1"),
+        ])
+        assessment = assess_fleet(fleet, clients=[client])
+        assert assessment.grid_limited
+        assert assessment.efficiency == 1.0
+        # the raw numbers still expose the grid gap for anyone who asks
+        assert assessment.optimal_mean_rtt_ms > assessment.observed_mean_rtt_ms
+
+    def test_unclamped_assessment_not_grid_limited(self):
+        assessment = FleetAssessment("x", observed_mean_rtt_ms=20.0,
+                                     optimal_mean_rtt_ms=10.0)
+        assert not assessment.grid_limited
+        assert assessment.efficiency == pytest.approx(0.5)

@@ -1,0 +1,204 @@
+"""The placement-study campaign driver and its CLI subcommand."""
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal, RunManifest
+from repro.experiments import placement_study
+from repro.experiments.placement_study import (
+    PlacementStudyResult,
+    evaluate_cell,
+)
+
+# Small-but-real settings: coarse lattice, few users, two ks.
+FAST = dict(users=2000, seed=0, site_step_deg=12.0)
+
+
+class TestEvaluateCell:
+    def test_record_shape_and_ranges(self):
+        record = evaluate_cell("initiator-nearest", k=3, **FAST)
+        assert record["policy"] == "initiator-nearest"
+        assert record["k"] == 3
+        assert 0.0 < record["qoe_mean"] <= 1.0
+        assert 0.0 <= record["meets_threshold_fraction"] <= 1.0
+        assert record["cost_units"] == 3.0  # single relay => no backbone
+        assert record["multi_relay_fraction"] == 0.0
+        assert len(record["placed_sites"]) == 3
+        assert len(record["per_epoch"]) == 4
+
+    def test_deterministic(self):
+        a = evaluate_cell("client-nearest", k=2, **FAST)
+        b = evaluate_cell("client-nearest", k=2, **FAST)
+        assert a == b
+
+    def test_client_nearest_beats_initiator_nearest(self):
+        """The paper's Sec. 4.1 remedy, restated over global demand."""
+        observed = evaluate_cell("initiator-nearest", k=4, **FAST)
+        remedy = evaluate_cell("client-nearest", k=4, **FAST)
+        assert remedy["qoe_mean"] > observed["qoe_mean"]
+        assert remedy["multi_relay_fraction"] > 0.0
+        # ...and pays for the backbone interconnect
+        assert remedy["cost_units"] > observed["cost_units"]
+
+    def test_json_safe_record(self):
+        import json
+
+        record = evaluate_cell("latency-budget", k=2, **FAST)
+        assert json.loads(json.dumps(record)) == record
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="users"):
+            evaluate_cell("client-nearest", k=2, users=2, seed=0)
+        with pytest.raises(ValueError, match="two participants"):
+            evaluate_cell("client-nearest", k=2, users=100, seed=0,
+                          session_size=1)
+        with pytest.raises(KeyError, match="unknown policy"):
+            evaluate_cell("warp-drive", k=2, **FAST)
+
+
+class TestRun:
+    POLICIES = ["initiator-nearest", "client-nearest"]
+
+    def test_sweep_covers_the_grid(self):
+        result = placement_study.run(policies=self.POLICIES,
+                                     k_range=[2, 4], **FAST)
+        assert len(result.records) == 4
+        assert result.policies() == self.POLICIES
+        assert result.k_values() == [2, 4]
+
+    def test_unknown_policy_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            placement_study.run(policies=["nope"], k_range=[2], **FAST)
+
+    def test_bad_k_range(self):
+        with pytest.raises(ValueError, match="k_range"):
+            placement_study.run(policies=self.POLICIES, k_range=[0], **FAST)
+
+    def test_cache_round_trip_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = placement_study.run(policies=self.POLICIES, k_range=[2],
+                                   cache=cache, **FAST)
+        warm = placement_study.run(policies=self.POLICIES, k_range=[2],
+                                   cache=cache, **FAST)
+        assert cold.records == warm.records
+
+    def test_resume_from_journal(self, tmp_path):
+        journal_path = tmp_path / "study.journal"
+        with RunJournal(journal_path) as journal:
+            full = placement_study.run(policies=self.POLICIES, k_range=[2],
+                                       journal=journal, **FAST)
+        manifest = RunManifest()
+        with RunJournal(journal_path) as journal:
+            resumed = placement_study.run(policies=self.POLICIES,
+                                          k_range=[2], journal=journal,
+                                          resume=True, manifest=manifest,
+                                          **FAST)
+        assert resumed.records == full.records
+        assert all(cell.status == "resumed" for cell in manifest.cells)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = placement_study.run(policies=self.POLICIES, k_range=[2],
+                                     jobs=1, **FAST)
+        parallel = placement_study.run(policies=self.POLICIES, k_range=[2],
+                                       jobs=2, **FAST)
+        assert serial.records == parallel.records
+
+
+class TestResultAccessors:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return placement_study.run(
+            policies=["initiator-nearest", "client-nearest"],
+            k_range=[2, 4], **FAST)
+
+    def test_best_maximizes_objective(self, result):
+        best = result.best()
+        assert best["objective"] == max(r["objective"]
+                                        for r in result.records)
+
+    def test_initiator_penalty_positive(self, result):
+        assert result.initiator_penalty() > 0.0
+        assert result.initiator_penalty(2) == pytest.approx(
+            result.record("client-nearest", 2)["qoe_mean"]
+            - result.record("initiator-nearest", 2)["qoe_mean"])
+
+    def test_missing_record_raises(self, result):
+        with pytest.raises(KeyError, match="no record"):
+            result.record("load-aware", 2)
+
+    def test_format_table(self, result):
+        table = result.format_table()
+        assert "initiator-nearest" in table
+        assert "k=4" in table
+
+    def test_format_table_sparse_grid(self):
+        sparse = PlacementStudyResult(records=[
+            {"policy": "a", "k": 2, "qoe_mean": 0.9, "objective": 0.88},
+            {"policy": "b", "k": 4, "qoe_mean": 0.5, "objective": 0.4},
+        ])
+        # the (a, k=4) and (b, k=2) cells were never run: placeholder,
+        # not a KeyError
+        assert "--" in sparse.format_table()
+
+    def test_to_csv(self, result, tmp_path):
+        path = tmp_path / "cells.csv"
+        result.to_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("policy,k,users")
+        assert len(lines) == 1 + len(result.records)
+
+
+class TestCli:
+    def test_placement_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv_path = tmp_path / "out.csv"
+        code = main([
+            "placement", "--users", "2000",
+            "--policies", "initiator-nearest,client-nearest",
+            "--k-range", "2", "--site-step", "12",
+            "--no-cache", "--csv", str(csv_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "initiator-nearest" in out
+        assert "best objective:" in out
+        assert "QoE penalty" in out
+        assert csv_path.exists()
+
+    def test_resume_requires_journal(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--resume needs --journal"):
+            main(["placement", "--resume", "--no-cache"])
+
+    def test_comma_and_space_policy_lists_agree(self):
+        from repro.cli import build_parser
+
+        by_comma = build_parser().parse_args(
+            ["placement", "--policies", "initiator-nearest,client-nearest"])
+        by_space = build_parser().parse_args(
+            ["placement", "--policies", "initiator-nearest",
+             "client-nearest"])
+        split = [name for entry in by_comma.policies
+                 for name in entry.split(",") if name]
+        assert split == by_space.policies
+
+
+class TestTelemetry:
+    def test_cell_increments_obs_counters(self):
+        from repro.obs import metrics as obs_metrics
+
+        before = obs_metrics.counter("geo.study.cells").value
+        evaluate_cell("initiator-nearest", k=2, **FAST)
+        assert obs_metrics.counter("geo.study.cells").value == before + 1
+        assert obs_metrics.counter("geo.placement.rounds").value > 0
+
+    def test_sessions_scored_matches_record(self):
+        from repro.obs import metrics as obs_metrics
+
+        before = obs_metrics.counter("geo.study.sessions_scored").value
+        record = evaluate_cell("client-nearest", k=2, **FAST)
+        delta = (obs_metrics.counter("geo.study.sessions_scored").value
+                 - before)
+        assert delta == record["sessions"]

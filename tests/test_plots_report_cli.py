@@ -78,7 +78,8 @@ class TestCliParser:
         assert set(sub.choices) == {
             "table1", "protocols", "fig4", "content", "rate",
             "fig5", "fig6", "ablations", "resilience", "campaign",
-            "validate", "report", "reproduce", "worker", "cache",
+            "placement", "validate", "report", "reproduce", "worker",
+            "cache",
         }
 
     def test_missing_command_errors(self):
