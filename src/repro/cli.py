@@ -177,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("resilience", "fault gauntlet: recovery, ladder occupancy, MOS"),
         ("campaign", "automated measurement campaign over a config grid"),
         ("placement", "planet-scale placement x selection-policy study"),
+        ("gauntlet", "fleet-scale fault gauntlet: correlated domains x "
+                     "policies x fleet sizes"),
         ("validate", "re-check every calibrated anchor against the paper"),
         ("report", "full markdown reproduction report"),
         ("reproduce", "full report with sharded workers + result cache"),
@@ -247,7 +249,44 @@ def build_parser() -> argparse.ArgumentParser:
                            help="global candidate-lattice spacing, degrees")
             p.add_argument("--csv", help="export per-cell records to this "
                                          "path")
-        if name in ("campaign", "resilience", "reproduce", "placement"):
+        if name == "gauntlet":
+            p.add_argument("--scenarios", nargs="+",
+                           default=["region-outage", "mixed"],
+                           metavar="NAME",
+                           help="fault-domain scenarios to sweep, space- "
+                                "or comma-separated (catalog: "
+                                "region-outage ap-storm brownout "
+                                "flash-crowd mixed none)")
+            p.add_argument("--policies", nargs="+", default=None,
+                           metavar="NAME",
+                           help="selection policies to sweep, space- or "
+                                "comma-separated (default: all registered)")
+            p.add_argument("--fleet-sizes", nargs="+", type=int,
+                           default=[50, 200], metavar="N",
+                           help="sessions per cell")
+            p.add_argument("--gauntlet-duration", type=float, default=120.0,
+                           metavar="SECONDS",
+                           help="campaign seconds per cell")
+            p.add_argument("--tick", type=float, default=1.0,
+                           metavar="SECONDS",
+                           help="fleet timeline resolution")
+            p.add_argument("--k", type=int, default=6,
+                           help="servers in the optimized placement")
+            p.add_argument("--regions", type=int, default=12, metavar="N",
+                           help="limit demand to the N most populous world "
+                                "regions")
+            p.add_argument("--session-size", type=int, default=3,
+                           help="participants per telepresence session")
+            p.add_argument("--capacity-factor", type=float, default=1.2,
+                           help="per-server admission capacity as a "
+                                "multiple of the even-split load")
+            p.add_argument("--site-step", type=float, default=8.0,
+                           metavar="DEG",
+                           help="global candidate-lattice spacing, degrees")
+            p.add_argument("--csv", help="export per-cell records to this "
+                                         "path")
+        if name in ("campaign", "resilience", "reproduce", "placement",
+                    "gauntlet"):
             _add_sweep(p)
     _add_worker_parser(sub)
     _add_cache_parser(sub)
@@ -510,6 +549,57 @@ def _cmd_placement(args) -> int:
     return 0
 
 
+def _cmd_gauntlet(args) -> int:
+    from repro.core.errors import CampaignInterrupted
+    from repro.core.journal import RunManifest
+    from repro.experiments import gauntlet as gauntlet_study
+
+    scenarios = [name for entry in args.scenarios
+                 for name in entry.split(",") if name]
+    policies = None
+    if args.policies:
+        policies = [name for entry in args.policies
+                    for name in entry.split(",") if name]
+    journal = _explicit_journal(args)
+    manifest = RunManifest()
+    _configure_obs(args)
+    try:
+        with _graceful_interrupts():
+            result = gauntlet_study.run(
+                scenarios=scenarios, policies=policies,
+                fleet_sizes=args.fleet_sizes, seed=args.seed,
+                duration_s=args.gauntlet_duration, tick_s=args.tick,
+                k=args.k, regions=args.regions,
+                session_size=args.session_size,
+                capacity_factor=args.capacity_factor,
+                site_step_deg=args.site_step,
+                jobs=args.jobs, cache=_sweep_cache(args),
+                timeout=args.cell_timeout, retries=args.max_retries,
+                journal=journal, resume=args.resume, manifest=manifest,
+                progress=lambda line: print(f"  {line}"),
+            )
+    except CampaignInterrupted:
+        if journal is not None:
+            return _interrupted_exit(journal.path)
+        print("\ninterrupted — no journal; pass --journal PATH to make "
+              "this sweep resumable", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    _print_manifest(manifest, args)
+    _report_obs(args)
+    print(result.format_table())
+    worst = result.worst()
+    print(f"worst cell: {worst['scenario']} / {worst['policy']} at "
+          f"n={worst['n_sessions']} (QoE delta {worst['qoe_delta']:+.4f}, "
+          f"recovered {worst['recovered_fraction']:.0%})")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.analysis.comparison import format_report, validate_all
 
@@ -712,6 +802,7 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "campaign": _cmd_campaign,
     "placement": _cmd_placement,
+    "gauntlet": _cmd_gauntlet,
     "validate": _cmd_validate,
     "report": _cmd_report,
     "reproduce": _cmd_report,

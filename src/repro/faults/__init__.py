@@ -13,14 +13,35 @@ The subsystem has two halves:
   judge the outcome (:mod:`~repro.faults.metrics`).
 
 :mod:`~repro.faults.resilient` ties both halves into
-:class:`~repro.vca.session.TelepresenceSession`.
+:class:`~repro.vca.session.TelepresenceSession`.  At fleet scale,
+:mod:`~repro.faults.domains` samples *correlated* failures (region
+outages, AP storms, backbone brownouts, flash crowds) and
+:mod:`~repro.faults.cohort` arms whole batched cohorts with grouped
+cohort events instead of per-lane callbacks.
 """
 
+from repro.faults.cohort import CohortInjector
+from repro.faults.domains import (
+    SCENARIOS,
+    DomainEvent,
+    DomainImpairments,
+    DomainKind,
+    DomainPlan,
+    build_plan,
+    fan_out,
+    impairment_timeline,
+    impairment_timeline_scalar,
+    lane_schedules,
+    sample_domain_events,
+    scenario_names,
+    server_down_timeline,
+)
 from repro.faults.injector import (
     WIFI_DEGRADATION_JITTER_MS,
     WIFI_DEGRADATION_LOSS,
     FaultInjector,
     FaultLogEntry,
+    combine_impairment,
 )
 from repro.faults.ladder import (
     DOWN_RATIO,
@@ -56,6 +77,7 @@ from repro.faults.schedule import (
     FaultEvent,
     FaultKind,
     FaultSchedule,
+    derive_seed,
     standard_disturbance,
 )
 from repro.faults.sources import (
@@ -65,6 +87,7 @@ from repro.faults.sources import (
 )
 
 __all__ = [
+    "SCENARIOS",
     "SERVER_TARGET",
     "DOWN_RATIO",
     "LEVEL_QUALITY",
@@ -73,7 +96,12 @@ __all__ = [
     "WIFI_DEGRADATION_JITTER_MS",
     "WIFI_DEGRADATION_LOSS",
     "BackoffPolicy",
+    "CohortInjector",
     "DegradationLadder",
+    "DomainEvent",
+    "DomainImpairments",
+    "DomainKind",
+    "DomainPlan",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
@@ -90,11 +118,21 @@ __all__ = [
     "ResilienceTracker",
     "SessionResilience",
     "Stall",
+    "build_plan",
+    "combine_impairment",
     "derive_fault_seed",
+    "derive_seed",
+    "fan_out",
     "find_stalls",
+    "impairment_timeline",
+    "impairment_timeline_scalar",
+    "lane_schedules",
     "mos_timeline",
     "next_level",
     "recovery_of",
+    "sample_domain_events",
+    "scenario_names",
+    "server_down_timeline",
     "standard_disturbance",
     "sustainable_level",
     "video_scale_for_level",

@@ -1,0 +1,172 @@
+"""Fault injection for cohorts: one batch engine, many armed lanes.
+
+A :class:`~repro.faults.injector.FaultInjector` owns one scalar session's
+faults; a cohort hosts hundreds of sessions on one
+:class:`~repro.netsim.batch.BatchSimulator`, and a correlated domain event
+(a regional outage, an AP-degradation storm) hits many of them at the same
+instant.  Arming each lane independently would schedule ``lanes x events``
+apply callbacks plus as many reverts; the :class:`CohortInjector` instead
+groups identical events across lanes and schedules **one cohort event per
+group edge** (`schedule_cohort`), so a fault covering 200 lanes costs two
+engine events, not 400.
+
+Bit-identity is the contract, not an aspiration:
+
+- per-lane apply/revert runs through the *same*
+  :meth:`~repro.faults.injector.FaultInjector.apply_event` /
+  :meth:`~repro.faults.injector.FaultInjector.revert_event` code and the
+  shared :func:`~repro.faults.injector.combine_impairment` arithmetic the
+  scalar path uses;
+- grouped applies fire at the event's exact onset with a sequence number
+  below any runtime-scheduled media event at the same timestamp (arming
+  happens before ``run``), matching the scalar arming order;
+- the grouped revert is scheduled *when the apply fires* — the scalar
+  injector's semantics — at ``now + duration_s``, which equals ``end_s``
+  bit-for-bit because the apply fired at exactly ``start_s``.
+
+``tests/test_gauntlet.py`` proves scalar-armed and cohort-armed runs
+byte-identical, and the golden differential suite keeps the cohort-of-1
+anchored to the scalar engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent
+from repro.netsim.batch import BatchSimulator, LaneSimulator
+from repro.obs import metrics as obs_metrics
+
+
+class CohortInjector:
+    """Arms the fault schedules of a whole cohort on one batch engine.
+
+    Two arming modes:
+
+    - **eager** (default): :meth:`enroll` arms the lane immediately,
+      event by event — exactly what ``FaultInjector.arm()`` used to do on
+      a lane view.  This is the compatibility path
+      :class:`~repro.faults.resilient.ResilienceRuntime` takes when a
+      session is built on a lane outside a gauntlet.
+    - **deferred**: created with ``CohortInjector.of(batch,
+      deferred=True)`` *before* sessions are built; :meth:`enroll` only
+      registers, and :meth:`seal` arms everything at once with identical
+      events grouped across lanes into single cohort apply/revert pairs.
+
+    One injector per batch: :meth:`of` stores the instance on the batch
+    object, so every lane of a cohort enrolls into the same grouping.
+    """
+
+    _ATTR = "_repro_cohort_injector"
+
+    def __init__(self, batch: BatchSimulator, deferred: bool = False) -> None:
+        self.batch = batch
+        self.deferred = deferred
+        self.sealed = False
+        self._injectors: Dict[int, FaultInjector] = {}
+        self._pending: List[Tuple[int, FaultInjector]] = []
+        #: Engine events this injector armed (applies only; reverts are
+        #: scheduled at apply time).  With grouping this is the number of
+        #: distinct events, not lanes x events.
+        self.cohort_events_armed = 0
+        #: Total (lane, event) pairs covered — the scalar-equivalent count.
+        self.lane_events_covered = 0
+
+    @classmethod
+    def of(cls, batch: BatchSimulator,
+           deferred: bool = False) -> "CohortInjector":
+        """The batch's cohort injector, created on first use.
+
+        ``deferred`` only matters at creation; call this before building
+        sessions to put the whole cohort into grouped-arming mode.
+        """
+        existing = getattr(batch, cls._ATTR, None)
+        if existing is not None:
+            return existing
+        injector = cls(batch, deferred=deferred)
+        setattr(batch, cls._ATTR, injector)
+        return injector
+
+    def enroll(self, lane: LaneSimulator, injector: FaultInjector) -> None:
+        """Register one lane's scalar injector (arming now or at seal)."""
+        if not isinstance(lane, LaneSimulator) or lane.batch is not self.batch:
+            raise ValueError("enroll takes a lane of this injector's batch")
+        if self.sealed:
+            raise RuntimeError("cohort injector already sealed")
+        index = lane.lane_index
+        self._injectors[index] = injector
+        if self.deferred:
+            self._pending.append((index, injector))
+        else:
+            self._arm_lane(index, injector)
+
+    def _arm_lane(self, lane: int, injector: FaultInjector) -> None:
+        """Per-lane arming, bit-identical to the old lane ``arm()`` path."""
+        for event in injector.schedule:
+            self.batch.schedule_at(
+                lane, event.start_s,
+                lambda e=event, i=injector: i.apply_event(e))
+            self.cohort_events_armed += 1
+            self.lane_events_covered += 1
+
+    def seal(self) -> None:
+        """Arm every deferred lane, grouping identical events across lanes.
+
+        Grouping key is the (frozen, hashable) :class:`FaultEvent` itself:
+        domain fan-out hands every covered lane the same event object
+        values, so one regional outage over 200 lanes becomes one cohort
+        apply.  Groups keep first-seen order, which preserves each lane's
+        schedule order for the homogeneous schedules domain plans emit.
+        """
+        if not self.deferred:
+            return
+        if self.sealed:
+            raise RuntimeError("cohort injector already sealed")
+        self.sealed = True
+        groups: Dict[FaultEvent, List[int]] = {}
+        for lane, injector in self._pending:
+            for event in injector.schedule:
+                groups.setdefault(event, []).append(lane)
+        for event, lanes in groups.items():
+            self.batch.schedule_cohort(
+                event.start_s - self.batch.now, lanes,
+                lambda e=event, ls=tuple(lanes): self._apply_group(e, ls))
+            self.cohort_events_armed += 1
+            self.lane_events_covered += len(lanes)
+        self._pending.clear()
+        obs_metrics.counter("faults.cohort.sealed").inc()
+        obs_metrics.counter("faults.cohort.groups").inc(len(groups))
+
+    # ------------------------------------------------------------------
+    # Grouped apply / revert
+    # ------------------------------------------------------------------
+
+    def _apply_group(self, event: FaultEvent,
+                     lanes: Tuple[int, ...]) -> None:
+        """Apply one event to every covered lane; one shared revert."""
+        live: List[Tuple[FaultInjector, str]] = []
+        live_lanes: List[int] = []
+        for lane in lanes:
+            injector = self._injectors[lane]
+            address = injector.apply_event(event, schedule_revert=False)
+            if address is not None:
+                live.append((injector, address))
+                live_lanes.append(lane)
+        obs_metrics.counter("faults.cohort.applies").inc()
+        if not live:
+            return
+        # now == event.start_s exactly (this callback fired at onset), so
+        # now + duration_s == end_s bit-for-bit — the scalar revert time.
+        self.batch.schedule_cohort(
+            event.duration_s, live_lanes,
+            lambda: self._revert_group(event, live))
+
+    def _revert_group(self, event: FaultEvent,
+                      live: List[Tuple[FaultInjector, str]]) -> None:
+        for injector, address in live:
+            injector.revert_event(event, address)
+        obs_metrics.counter("faults.cohort.reverts").inc()
+
+
+__all__ = ["CohortInjector"]

@@ -34,6 +34,37 @@ WIFI_DEGRADATION_LOSS = 0.02
 WIFI_DEGRADATION_JITTER_MS = 8.0
 
 
+def combine_impairment(
+    active: "List[FaultEvent]",
+) -> "tuple[bool, float, float, float]":
+    """``(blackout, loss, jitter_ms, rate_factor)`` of a set of active events.
+
+    Module-level for the same reason ``schedule_periodic`` is: the scalar
+    :class:`FaultInjector` and the batch
+    :class:`~repro.faults.cohort.CohortInjector` paths must run the *same*
+    combination arithmetic, so a fault applied through either engine
+    installs a bit-identical impairment.
+    """
+    blackout = False
+    pass_prob = 1.0
+    jitter_ms = 0.0
+    rate_factor = 1.0
+    for event in active:
+        if event.kind in (FaultKind.LINK_BLACKOUT, FaultKind.SERVER_OUTAGE):
+            blackout = True
+        elif event.kind is FaultKind.LOSS_BURST:
+            pass_prob *= 1.0 - event.magnitude
+        elif event.kind is FaultKind.JITTER_BURST:
+            jitter_ms += event.magnitude
+        elif event.kind is FaultKind.BANDWIDTH_COLLAPSE:
+            rate_factor = min(rate_factor, event.magnitude)
+        elif event.kind is FaultKind.WIFI_DEGRADATION:
+            rate_factor = min(rate_factor, event.magnitude)
+            pass_prob *= 1.0 - WIFI_DEGRADATION_LOSS
+            jitter_ms += WIFI_DEGRADATION_JITTER_MS
+    return blackout, 1.0 - pass_prob, jitter_ms, rate_factor
+
+
 @dataclass
 class FaultLogEntry:
     """One line of the injector's timeline (for traces and tests)."""
@@ -95,7 +126,24 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def arm(self) -> None:
-        """Schedule every event's apply/revert on the simulator."""
+        """Schedule every event's apply/revert on the simulator.
+
+        Raises:
+            TypeError: If ``sim`` is a batch engine (``BatchSimulator`` /
+                ``LaneSimulator``).  Their 3-argument / lane-scoped
+                scheduling surface would fail deep inside the event loop;
+                batch cohorts arm through
+                :class:`repro.faults.cohort.CohortInjector` instead.
+        """
+        from repro.netsim.batch import BatchSimulator, LaneSimulator
+
+        if isinstance(self.sim, (BatchSimulator, LaneSimulator)):
+            raise TypeError(
+                f"FaultInjector.arm() cannot arm a "
+                f"{type(self.sim).__name__}: batch engines take faults "
+                f"through repro.faults.cohort.CohortInjector "
+                f"(enroll each lane's injector, then seal)"
+            )
         for event in self.schedule:
             self.sim.schedule_at(event.start_s, lambda e=event: self._apply(e))
 
@@ -120,13 +168,20 @@ class FaultInjector:
             return self._server_address()
         return self._address_of[event.target]
 
-    def _apply(self, event: FaultEvent) -> None:
+    def apply_event(self, event: FaultEvent, *,
+                    schedule_revert: bool = True) -> Optional[str]:
+        """Apply one event now; returns the resolved address (None = skip).
+
+        With ``schedule_revert`` (the scalar path) the matching revert is
+        scheduled on ``sim`` at ``event.end_s``; the cohort injector passes
+        ``False`` and schedules one shared revert for the whole lane group.
+        """
         address = self._resolve(event)
         if address is None:
             # P2P session: there is no server to take down.
             self.log.append(FaultLogEntry(self.sim.now, "skip", event))
             obs_metrics.counter("faults.skipped").inc()
-            return
+            return None
         state = self._states.setdefault(address, _TargetState(address))
         state.active.append(event)
         self._recompute(state)
@@ -135,11 +190,16 @@ class FaultInjector:
         obs_metrics.counter(
             f"faults.applied.{event.kind.name.lower()}"
         ).inc()
-        # The revert is pinned to the address resolved at onset: a server
-        # outage keeps afflicting the *old* relay even after a failover.
-        self.sim.schedule_at(event.end_s, lambda: self._revert(event, address))
+        if schedule_revert:
+            # The revert is pinned to the address resolved at onset: a
+            # server outage keeps afflicting the *old* relay even after a
+            # failover.
+            self.sim.schedule_at(event.end_s,
+                                 lambda: self._revert(event, address))
+        return address
 
-    def _revert(self, event: FaultEvent, address: str) -> None:
+    def revert_event(self, event: FaultEvent, address: str) -> None:
+        """Revert one applied event from its onset-resolved address."""
         state = self._states.get(address)
         if state is None or event not in state.active:
             return
@@ -148,27 +208,16 @@ class FaultInjector:
         self.log.append(FaultLogEntry(self.sim.now, "revert", event, address))
         obs_metrics.counter("faults.reverted").inc()
 
+    def _apply(self, event: FaultEvent) -> None:
+        self.apply_event(event)
+
+    def _revert(self, event: FaultEvent, address: str) -> None:
+        self.revert_event(event, address)
+
     def _recompute(self, state: _TargetState) -> None:
         """Re-derive the combined impairment of one attachment."""
-        blackout = False
-        pass_prob = 1.0
-        jitter_ms = 0.0
-        rate_factor = 1.0
-        for event in state.active:
-            if event.kind in (FaultKind.LINK_BLACKOUT, FaultKind.SERVER_OUTAGE):
-                blackout = True
-            elif event.kind is FaultKind.LOSS_BURST:
-                pass_prob *= 1.0 - event.magnitude
-            elif event.kind is FaultKind.JITTER_BURST:
-                jitter_ms += event.magnitude
-            elif event.kind is FaultKind.BANDWIDTH_COLLAPSE:
-                rate_factor = min(rate_factor, event.magnitude)
-            elif event.kind is FaultKind.WIFI_DEGRADATION:
-                rate_factor = min(rate_factor, event.magnitude)
-                pass_prob *= 1.0 - WIFI_DEGRADATION_LOSS
-                jitter_ms += WIFI_DEGRADATION_JITTER_MS
-
-        loss = 1.0 - pass_prob
+        blackout, loss, jitter_ms, rate_factor = combine_impairment(
+            state.active)
         if blackout or loss > 0.0 or jitter_ms > 0.0:
             previous = self.network.fault_of(state.address)
             fault = LinkFault(blackout=blackout, loss=loss, jitter_ms=jitter_ms)

@@ -15,6 +15,7 @@ traces.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -22,6 +23,31 @@ import numpy as np
 
 #: Pseudo-target addressing the session's currently selected relay server.
 SERVER_TARGET = "@server"
+
+
+def derive_seed(base_seed: int, *salts: object) -> int:
+    """Derive an independent RNG seed from ``base_seed`` and salts.
+
+    The seed-derivation rule of the whole fault subsystem (the
+    ``RetryPolicy`` idiom): the salted string
+    ``"faults:{base_seed}:{salt}:{salt}..."`` is sha256-hashed and the
+    first four digest bytes read little-endian.  ``hash()`` would not do —
+    string hashing is salted per process, and gauntlet cells must produce
+    bit-identical schedules whether they run serially, under ``--jobs 8``,
+    or on a distributed worker.
+
+    Conventions used across the gauntlet:
+
+    - **lanes**: lane 0 of a cohort keeps ``base_seed`` verbatim (so a
+      cohort of one is seed-compatible with the scalar path); lane ``i > 0``
+      uses ``derive_seed(base_seed, "lane", i)``.
+    - **domains**: each domain-event generator draws from
+      ``derive_seed(base_seed, "domain", kind)``; per-event lane fan-out
+      subsampling uses ``derive_seed(base_seed, "fanout", index)``.
+    """
+    text = ":".join(["faults", str(base_seed), *(str(s) for s in salts)])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:4], "little")
 
 
 class FaultKind(enum.Enum):
@@ -39,6 +65,25 @@ class FaultKind(enum.Enum):
     WIFI_DEGRADATION = "wifi-degradation"
     #: The selected relay server goes dark (blackout at its attachment).
     SERVER_OUTAGE = "server-outage"
+
+
+#: Magnitude ranges :meth:`FaultSchedule.random` draws from, per kind.
+#: Kinds without an entry (blackouts, server outages) take magnitude 0.0
+#: and consume no draw.
+_MAGNITUDE_RANGES = {
+    FaultKind.BANDWIDTH_COLLAPSE: (0.02, 0.3),
+    FaultKind.LOSS_BURST: (0.02, 0.25),
+    FaultKind.JITTER_BURST: (5.0, 80.0),
+    FaultKind.WIFI_DEGRADATION: (0.1, 0.6),
+}
+
+
+def _draw_magnitude(rng: np.random.Generator, kind: "FaultKind") -> float:
+    """Exactly one uniform draw for magnitude kinds, zero otherwise."""
+    bounds = _MAGNITUDE_RANGES.get(kind)
+    if bounds is None:
+        return 0.0
+    return float(rng.uniform(*bounds))
 
 
 #: Validation bounds for each kind's magnitude (inclusive).
@@ -153,7 +198,13 @@ class FaultSchedule:
 
         Every draw comes from one ``numpy`` generator seeded with ``seed``,
         so the schedule — and therefore the whole fault run — is exactly
-        reproducible.
+        reproducible.  The per-event draw order is part of the contract
+        (``tests/test_fault_domains.py`` replays it against a reference):
+        inter-arrival gap, kind, duration, target (skipped for server
+        outages), then exactly one magnitude draw for kinds with a range
+        in ``_MAGNITUDE_RANGES`` and none otherwise.  An earlier version
+        eagerly evaluated a dict of all four magnitude draws per event,
+        which burned generator state on kinds that were never selected.
 
         Args:
             seed: Master seed for the schedule.
@@ -190,14 +241,7 @@ class FaultSchedule:
                 target = SERVER_TARGET
             else:
                 target = targets[int(rng.integers(len(targets)))]
-            magnitude = {
-                FaultKind.LINK_BLACKOUT: 0.0,
-                FaultKind.BANDWIDTH_COLLAPSE: float(rng.uniform(0.02, 0.3)),
-                FaultKind.LOSS_BURST: float(rng.uniform(0.02, 0.25)),
-                FaultKind.JITTER_BURST: float(rng.uniform(5.0, 80.0)),
-                FaultKind.WIFI_DEGRADATION: float(rng.uniform(0.1, 0.6)),
-                FaultKind.SERVER_OUTAGE: 0.0,
-            }[kind]
+            magnitude = _draw_magnitude(rng, kind)
             events.append(FaultEvent(kind, target, time_s, duration, magnitude))
             time_s += float(rng.exponential(60.0 / events_per_minute))
         return cls(tuple(events))

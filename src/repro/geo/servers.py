@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import calibration
 from repro.geo.coords import GeoPoint
 from repro.geo.latency import PathModel
@@ -200,3 +202,143 @@ def build_fleet(vca: str, path_model: Optional[PathModel] = None) -> ServerFleet
 
 #: Pre-built fleets for all four providers.
 ALL_FLEETS: Dict[str, ServerFleet] = {name: build_fleet(name) for name in VCA_NAMES}
+
+
+# ----------------------------------------------------------------------
+# Fleet-scale robustness kernels (failover + QoE-aware load shedding)
+# ----------------------------------------------------------------------
+
+
+def failover_assignment(
+    rtt_user_server: np.ndarray,
+    assignment: np.ndarray,
+    up: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Re-home every session whose server is down onto its nearest up server.
+
+    One vectorized pass: down-server columns are masked to ``inf`` and the
+    displaced rows take an ``argmin`` over what remains — the next-feasible
+    server with the smallest RTT penalty, which the gauntlet then scores
+    through the placement QoE objective.  Sessions already shed
+    (``assignment == -1``) stay shed; if *no* server is up, displaced
+    sessions are shed too.
+
+    Args:
+        rtt_user_server: ``(sessions, servers)`` RTT matrix (ms).
+        assignment: Current server index per session (``-1`` = shed).
+        up: ``(servers,)`` bool mask of servers currently alive.
+
+    Returns:
+        ``(new_assignment, moved)`` — the updated assignment and the bool
+        mask of sessions that failed over (shedding counts as moved).
+    """
+    rtt = np.asarray(rtt_user_server, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.int64).copy()
+    up = np.asarray(up, dtype=bool)
+    assigned = assignment >= 0
+    displaced = assigned & ~up[np.where(assigned, assignment, 0)]
+    moved = np.flatnonzero(displaced)
+    if len(moved) == 0:
+        return assignment, displaced
+    if not up.any():
+        assignment[moved] = -1
+        return assignment, displaced
+    masked = np.where(up[None, :], rtt[moved], np.inf)
+    assignment[moved] = np.argmin(masked, axis=1)
+    return assignment, displaced
+
+
+def shed_overload(
+    rtt_user_server: np.ndarray,
+    assignment: np.ndarray,
+    up: np.ndarray,
+    capacity: np.ndarray,
+    load: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Admission control: drain over-capacity servers, cheapest regret first.
+
+    The QoE-aware twin of the load-aware placement policy's kernel: each
+    over-capacity server ranks its sessions by the *QoE regret* of moving
+    them — the drop in the placement delay factor between their current
+    server and their best up alternative — and evicts the cheapest ones
+    until it fits.  An evicted session moves to its alternative if that
+    server has headroom (tracked greedily as moves land), and is **shed**
+    (``assignment = -1``, QoE 0) when no feasible server can take it.
+
+    Servers are drained in index order and ties broken by a stable sort,
+    so the outcome is bit-reproducible across serial, pooled, and
+    distributed gauntlet workers.
+
+    Args:
+        rtt_user_server: ``(sessions, servers)`` RTT matrix (ms).
+        assignment: Server index per session (``-1`` = already shed).
+        up: ``(servers,)`` bool mask of live servers.
+        capacity: Per-server capacity in load units (scalar broadcasts).
+        load: Per-session load (defaults to 1.0 each).
+
+    Returns:
+        ``(new_assignment, shed, moves)`` — updated assignment, the bool
+        mask of sessions shed *by this call*, and the number of sessions
+        relocated to an alternative server instead.
+    """
+    rtt = np.asarray(rtt_user_server, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.int64).copy()
+    up = np.asarray(up, dtype=bool)
+    n_sessions, n_servers = rtt.shape
+    capacity = np.broadcast_to(
+        np.asarray(capacity, dtype=np.float64), (n_servers,)).copy()
+    if load is None:
+        load = np.ones(n_sessions)
+    load = np.asarray(load, dtype=np.float64)
+
+    # Lazy: geo.servers sits below vca.session in the import graph
+    # (vca.session -> faults.resilient -> geo.servers); a module-level
+    # import of vca.qoe would close the cycle through vca.__init__.
+    from repro.vca.qoe import delay_factor_arrays
+
+    occupancy = np.bincount(
+        assignment[assignment >= 0],
+        weights=load[assignment >= 0],
+        minlength=n_servers,
+    )
+    shed = np.zeros(n_sessions, dtype=bool)
+    moves = 0
+    for server in range(n_servers):
+        # A down server admits nothing: it drains completely.
+        cap_here = capacity[server] if up[server] else 0.0
+        if occupancy[server] <= cap_here:
+            continue
+        members = np.flatnonzero(assignment == server)
+        if len(members) == 0:
+            continue
+        # Best up alternative per member, current server excluded.
+        alt_mask = up.copy()
+        alt_mask[server] = False
+        if alt_mask.any():
+            masked = np.where(alt_mask[None, :], rtt[members], np.inf)
+            alt = np.argmin(masked, axis=1)
+            alt_rtt = masked[np.arange(len(members)), alt]
+        else:
+            alt = np.full(len(members), -1)
+            alt_rtt = np.full(len(members), np.inf)
+        here = delay_factor_arrays(rtt[members, server] / 2.0)
+        there = np.where(np.isfinite(alt_rtt),
+                         delay_factor_arrays(alt_rtt / 2.0), 0.0)
+        regret = here - there
+        order = np.argsort(regret, kind="stable")
+        for position in order:
+            if occupancy[server] <= cap_here:
+                break
+            session = int(members[position])
+            target = int(alt[position])
+            occupancy[server] -= load[session]
+            if (target >= 0 and np.isfinite(alt_rtt[position])
+                    and occupancy[target] + load[session]
+                    <= capacity[target]):
+                assignment[session] = target
+                occupancy[target] += load[session]
+                moves += 1
+            else:
+                assignment[session] = -1
+                shed[session] = True
+    return assignment, shed, moves

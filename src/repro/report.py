@@ -249,6 +249,28 @@ def placement_section(settings: ReportSettings) -> str:
                     rows)
 
 
+def gauntlet_section(settings: ReportSettings) -> str:
+    """Fault-gauntlet markdown section: correlated incidents vs a fleet."""
+    from repro.experiments import gauntlet
+
+    result = gauntlet.run(
+        scenarios=["region-outage", "mixed"],
+        policies=["initiator-nearest", "load-aware"],
+        fleet_sizes=[50], seed=settings.seed,
+        **settings.sweep_kwargs(),
+    )
+    rows = ["```", result.format_table(), "```", ""]
+    worst = result.worst()
+    rows.append(
+        f"Worst cell: **{worst['scenario']}** under {worst['policy']} at "
+        f"n={worst['n_sessions']} — QoE delta {worst['qoe_delta']:+.4f} "
+        f"vs the fault-free twin, {worst['recovered_fraction']:.0%} of "
+        f"degraded sessions recovered by campaign end."
+    )
+    return _section("Fault gauntlet — correlated domains at fleet scale",
+                    rows)
+
+
 def manifest_section(settings: ReportSettings) -> str:
     """Execution audit: what the sweeps did to produce this report."""
     manifest = settings.manifest
@@ -296,6 +318,7 @@ def generate_report(settings: ReportSettings = ReportSettings()) -> str:
         fig6_section(settings),
         ablations_section(settings),
         placement_section(settings),
+        gauntlet_section(settings),
     ]
     if settings.manifest is not None:
         sections.append(manifest_section(settings))

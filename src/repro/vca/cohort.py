@@ -149,6 +149,10 @@ class SfuCohortResult:
     delivered_egress_mbps: float
     ingress_drop_rate: float
     egress_drop_rate: float
+    #: Users refused at admission (empty unless ``admission_limit`` was
+    #: given).  Shed users neither upload nor receive; their observer
+    #: windows are empty.
+    shed_users: Tuple[int, ...] = ()
 
     def downlink_summary(self) -> SummaryStats:
         """Box-plot summary over all observers' windows.
@@ -261,6 +265,7 @@ def sfu_cohort_downlink(
     pool_library: int = 16,
     playout_delay_ms: float = 20.0,
     server_gbps: Optional[float] = None,
+    admission_limit: Optional[int] = None,
 ) -> SfuCohortResult:
     """Advance an n-participant FaceTime SFU cohort, fully vectorized.
 
@@ -291,6 +296,15 @@ def sfu_cohort_downlink(
             the relay near n ≈ 22.  The what-if runs pass a datacenter
             NIC rate (e.g. 10.0) to place the knee where a production
             SFU would see it.
+        admission_limit: Server-side admission control: at most this
+            many users are admitted (>= 2).  When the cohort exceeds
+            the limit, the farthest users — highest one-way delay to
+            the SFU, i.e. the sessions the delay-factor QoE objective
+            already scores lowest, so shedding them costs the least
+            regret — are refused deterministically (stable sort, index
+            tie-break) and reported in ``shed_users``.  ``None``
+            (default) admits everyone and is bit-identical to the
+            pre-admission fast path.
     """
     if n < 2:
         raise ValueError("an SFU cohort needs at least two participants")
@@ -331,6 +345,25 @@ def sfu_cohort_downlink(
     ])
     down_delay = up_delay  # symmetric one-way model
 
+    # Admission control: refuse the farthest (cheapest-regret) users.
+    admitted = np.arange(n)
+    shed_users: Tuple[int, ...] = ()
+    if admission_limit is not None:
+        if admission_limit < 2:
+            raise ValueError("admission_limit must admit at least two users")
+        if admission_limit < n:
+            by_delay = np.argsort(up_delay, kind="stable")
+            admitted = np.sort(by_delay[:admission_limit])
+            shed_users = tuple(
+                int(i) for i in np.sort(by_delay[admission_limit:])
+            )
+            obs_metrics.counter("vca.cohort.admission_shed").inc(
+                len(shed_users)
+            )
+    # Original-index -> admitted-local-index map (-1 = shed).
+    local = np.full(n, -1, dtype=np.int64)
+    local[admitted] = np.arange(len(admitted))
+
     # Exact wire sizes (address-independent).
     conn = quic_connection_for("10.0.0.2", session_secret)
     handshake_wires = (
@@ -351,7 +384,7 @@ def sfu_cohort_downlink(
     all_wires: List[np.ndarray] = []
     all_src: List[np.ndarray] = []
     all_send: List[np.ndarray] = []
-    for index in range(n):
+    for index in admitted.tolist():
         t_send, wires = _uplink_stream(
             duration_s, fps, pools[index], handshake_wires, audio_wire
         )
@@ -390,7 +423,7 @@ def sfu_cohort_downlink(
     # Copies of one packet are offered back to back at one instant, so
     # the accepted count is a single headroom division.
     # ------------------------------------------------------------------
-    fanout = n - 1
+    fanout = len(admitted) - 1
     byte_rate = server_rate_bps / 8.0
     start_l: List[float] = []
     k_l: List[int] = []
@@ -420,13 +453,15 @@ def sfu_cohort_downlink(
     # Observer downlinks: capture vantage is the core arrival (before
     # the receiver's AP), exactly like the event-driven network.
     # ------------------------------------------------------------------
-    addresses = [f"10.0.{i}.2" for i in range(n)]
-    rank = np.empty(n, dtype=np.int64)
+    # Fan-out destination order ranks the *admitted* addresses only;
+    # with everyone admitted this is the original full-cohort ranking.
+    addresses = [f"10.0.{i}.2" for i in admitted.tolist()]
+    rank = np.empty(len(admitted), dtype=np.int64)
     rank[np.array([addresses.index(a) for a in sorted(addresses)])] = (
-        np.arange(n)
+        np.arange(len(admitted))
     )
     ser_in = wire_in * (8.0 / server_rate_bps)
-    src_rank = rank[src_in]
+    src_rank = rank[local[src_in]]
     observer_windows: Dict[int, List[float]] = {}
     observer_late: Dict[int, float] = {}
     from repro.vca.jitterbuffer import JitterBuffer
@@ -437,7 +472,12 @@ def sfu_cohort_downlink(
     for obs in observers:
         if not 0 <= obs < n:
             raise IndexError(f"observer {obs} out of range for n={n}")
-        position = rank[obs] - (src_rank < rank[obs])
+        if local[obs] < 0:
+            # Refused at admission: the SFU never sends toward this user.
+            observer_windows[obs] = []
+            observer_late[obs] = 0.0
+            continue
+        position = rank[local[obs]] - (src_rank < rank[local[obs]])
         mine = src_in != obs
         got = mine & (position < k_arr)
         dep_copy = start_arr[got] + (position[got] + 1) * ser_in[got]
@@ -485,6 +525,7 @@ def sfu_cohort_downlink(
             1.0 - copies_accepted / copies_offered if copies_offered
             else 0.0
         ),
+        shed_users=shed_users,
     )
 
 

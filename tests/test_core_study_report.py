@@ -28,6 +28,8 @@ _SECTIONS = (
     "## Fig. 5 — visibility-aware optimizations",
     "## Fig. 6 — scalability",
     "## Ablations",
+    "## Placement study — global demand x selection policy",
+    "## Fault gauntlet — correlated domains at fleet scale",
 )
 
 

@@ -255,3 +255,93 @@ class TestLateWorkerFleet:
         # ...and somebody (worker or coordinator) did the rest.
         assert len(campaign.records) == len(campaign.tasks())
         assert workers_seen  # at least one id in the outcome trail
+
+
+# ---------------------------------------------------------------------------
+# the fleet-scale fault gauntlet under the same abuse
+# ---------------------------------------------------------------------------
+
+def _gauntlet_env(tmp_path: Path) -> dict:
+    env = _worker_env()
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    return env
+
+
+def _gauntlet_cmd(csv_path: Path, journal: Path = None, jobs: int = 2,
+                  resume: bool = False, no_cache: bool = True) -> list:
+    """The acceptance invocation: a 200-session regional-outage gauntlet
+    with admission control and load shedding active, sharded over two
+    worker processes."""
+    cmd = [sys.executable, "-m", "repro", "gauntlet",
+           "--scenarios", "region-outage", "--fleet-sizes", "50", "200",
+           "--jobs", str(jobs), "--csv", str(csv_path)]
+    if journal is not None:
+        cmd += ["--journal", str(journal)]
+    if no_cache:
+        cmd.append("--no-cache")
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+@pytest.fixture(scope="module")
+def gauntlet_golden_csv(tmp_path_factory) -> bytes:
+    """The undisturbed in-process serial sweep, same grid as the CLI."""
+    from repro.experiments import gauntlet
+
+    result = gauntlet.run(scenarios=["region-outage"],
+                          fleet_sizes=[50, 200], seed=0)
+    path = tmp_path_factory.mktemp("gauntlet_golden") / "golden.csv"
+    result.to_csv(path)
+    return path.read_bytes()
+
+
+@pytest.mark.slow
+class TestGauntletKill9:
+    def test_kill9_then_resume_matches_serial(self, gauntlet_golden_csv,
+                                              tmp_path):
+        """SIGKILL the gauntlet CLI mid-sweep, ``--resume``, and the CSV
+        must be byte-identical to the undisturbed serial run."""
+        env = _gauntlet_env(tmp_path)
+        journal = tmp_path / "gauntlet.jsonl"
+
+        victim = subprocess.Popen(
+            _gauntlet_cmd(tmp_path / "first.csv", journal, jobs=2),
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        # The journal is created inside the graceful-interrupt block, so
+        # its appearance marks a run in flight; SIGKILL right there.
+        deadline = time.monotonic() + 60.0
+        while (time.monotonic() < deadline and victim.poll() is None
+               and not journal.exists()):
+            time.sleep(0.01)
+        if victim.poll() is None:
+            victim.kill()  # SIGKILL: no handlers, no flushing, no mercy
+        victim.wait(timeout=30)
+
+        done = subprocess.run(
+            _gauntlet_cmd(tmp_path / "final.csv", journal, jobs=2,
+                          resume=True),
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert done.returncode == 0, done.stderr
+        assert (tmp_path / "final.csv").read_bytes() == gauntlet_golden_csv
+        assert "worst cell:" in done.stdout
+
+    def test_cached_replay_is_byte_identical(self, gauntlet_golden_csv,
+                                             tmp_path):
+        """A second run against a warm result cache replays every cell
+        and writes the same bytes."""
+        env = _gauntlet_env(tmp_path)
+        cold = subprocess.run(
+            _gauntlet_cmd(tmp_path / "cold.csv", no_cache=False),
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert cold.returncode == 0, cold.stderr
+        warm = subprocess.run(
+            _gauntlet_cmd(tmp_path / "warm.csv", no_cache=False),
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert warm.returncode == 0, warm.stderr
+        assert (tmp_path / "cold.csv").read_bytes() == gauntlet_golden_csv
+        assert (tmp_path / "warm.csv").read_bytes() == gauntlet_golden_csv
