@@ -1,0 +1,152 @@
+"""Bench: the scenario layer's two performance contracts.
+
+Two gates, both asserted before anything is reported:
+
+* **generation throughput**: :class:`~repro.scenario.generator.
+  ScenarioGenerator` must emit and serialize at least 200 specs/s —
+  spec generation is the inner loop of every seeded campaign, and its
+  per-field sha256 salt chain must stay cheap next to the sessions it
+  describes.
+* **quantile playout delay**: :func:`~repro.vca.jitterbuffer.
+  minimal_playout_delay_ms` (partition + searchsorted) must clear 20x
+  the O(n·m) grid scan it replaced on a campaign-sized stream — after
+  the two are checked exactly equal on the same stream.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.scenario.generator import (
+    DISTRIBUTIONS,
+    ScenarioGenerator,
+    to_jsonl,
+)
+from repro.vca.jitterbuffer import minimal_playout_delay_ms
+
+MIN_SPECS_PER_S = 200.0  # gate (a): generation + canonical JSON
+MIN_SPEEDUP = 20.0  # gate (b): quantile vs the grid scan it replaced
+
+
+def test_scenario_batch(benchmark):
+    from repro.scenario.campaign import run_batch
+
+    generator = ScenarioGenerator(0, DISTRIBUTIONS["paper-calls"])
+    specs = generator.batch(4)
+    result = benchmark.pedantic(
+        run_batch, args=(specs,), rounds=1, iterations=1,
+    )
+    print("\n" + result.format_table())
+    assert len(result) == 4
+    assert all(0.0 <= r["qoe"] <= 1.0 for r in result.records)
+
+
+# ---------------------------------------------------------------------------
+# gate (a): generation throughput
+# ---------------------------------------------------------------------------
+
+
+def bench_generation(count: int) -> dict:
+    generator = ScenarioGenerator(0, DISTRIBUTIONS["paper-calls"])
+    generator.batch(5)  # warm imports and caches
+    t0 = time.perf_counter()
+    text = to_jsonl(generator.batch(count))
+    elapsed = time.perf_counter() - t0
+    # Determinism sanity while we are here: same seed, same bytes.
+    assert text == to_jsonl(ScenarioGenerator(
+        0, DISTRIBUTIONS["paper-calls"]).batch(count))
+    return {"count": count, "elapsed_s": elapsed,
+            "specs_per_s": count / elapsed,
+            "bytes": len(text.encode())}
+
+
+# ---------------------------------------------------------------------------
+# gate (b): quantile playout delay vs the O(n·m) grid scan
+# ---------------------------------------------------------------------------
+
+
+def _grid_scan(one_way_ms: np.ndarray, late_budget: float,
+               resolution_ms: float, max_delay_ms: float) -> float:
+    """The replaced reference implementation (kept for the gate)."""
+    delays_ms = np.arange(0.0, max_delay_ms + resolution_ms, resolution_ms)
+    for delay in delays_ms:
+        if float(np.mean(one_way_ms > delay)) <= late_budget:
+            return float(delay)
+    raise ValueError("cannot meet")
+
+
+def bench_quantile(frames: int, repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    send = np.sort(rng.uniform(0.0, 60.0, size=frames))
+    arrival = send + rng.gamma(2.0, 0.05, size=frames)
+    timestamps = list(zip(send, arrival))
+    one_way_ms = (arrival - send) * 1000.0
+    budget, resolution, max_delay = 0.01, 0.1, 500.0
+
+    # equivalence first: identical grid-snapped answers
+    fast = minimal_playout_delay_ms(timestamps, late_budget=budget,
+                                    resolution_ms=resolution,
+                                    max_delay_ms=max_delay)
+    assert fast == _grid_scan(one_way_ms, budget, resolution, max_delay)
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        minimal_playout_delay_ms(timestamps, late_budget=budget,
+                                 resolution_ms=resolution,
+                                 max_delay_ms=max_delay)
+    fast_s = (time.perf_counter() - t0) / repeats
+
+    t0 = time.perf_counter()
+    _grid_scan(one_way_ms, budget, resolution, max_delay)
+    scan_s = time.perf_counter() - t0
+
+    return {"frames": frames, "delay_ms": fast, "scan_s": scan_s,
+            "fast_s": fast_s, "speedup": scan_s / fast_s}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: smaller batch and stream")
+    args = parser.parse_args(argv)
+    if args.quick:
+        gen_count, quant_args = 300, (20_000, 5)
+    else:
+        gen_count, quant_args = 1000, (60_000, 5)
+    gate_ok = True
+
+    row = bench_generation(gen_count)
+    print(f"generation: {row['count']} specs in {row['elapsed_s']:.3f}s "
+          f"({row['specs_per_s']:.0f}/s, {row['bytes']} JSONL bytes, "
+          f"byte-identical re-run checked)")
+    if row["specs_per_s"] < MIN_SPECS_PER_S:
+        gate_ok = False
+        print(f"  FAIL: {row['specs_per_s']:.0f}/s "
+              f"< required {MIN_SPECS_PER_S:.0f}/s")
+
+    row = bench_quantile(*quant_args)
+    print(f"playout delay: {row['frames']} frames (exact equality "
+          f"checked)  grid scan {row['scan_s']:.3f}s  quantile "
+          f"{row['fast_s']:.4f}s  speedup {row['speedup']:.0f}x")
+    if row["speedup"] < MIN_SPEEDUP:
+        gate_ok = False
+        print(f"  FAIL: speedup {row['speedup']:.1f}x "
+              f"< required {MIN_SPEEDUP:.0f}x")
+
+    if not gate_ok:
+        return 1
+    print(f"gates: generation >= {MIN_SPECS_PER_S:.0f} specs/s and "
+          f"quantile >= {MIN_SPEEDUP:.0f}x grid scan: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

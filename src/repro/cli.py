@@ -179,6 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("placement", "planet-scale placement x selection-policy study"),
         ("gauntlet", "fleet-scale fault gauntlet: correlated domains x "
                      "policies x fleet sizes"),
+        ("scenarios", "seeded generative workloads: generate / describe / "
+                      "run scenario batches"),
         ("validate", "re-check every calibrated anchor against the paper"),
         ("report", "full markdown reproduction report"),
         ("reproduce", "full report with sharded workers + result cache"),
@@ -285,8 +287,32 @@ def build_parser() -> argparse.ArgumentParser:
                            help="global candidate-lattice spacing, degrees")
             p.add_argument("--csv", help="export per-cell records to this "
                                          "path")
+        if name == "scenarios":
+            p.add_argument("action", choices=("generate", "describe", "run"),
+                           help="generate: emit the spec batch as JSONL; "
+                                "describe: print the distribution library; "
+                                "run: execute the batch on the campaign "
+                                "runner")
+            p.add_argument("--distribution", default="paper-calls",
+                           metavar="NAME",
+                           help="named scenario distribution (see "
+                                "'scenarios describe')")
+            p.add_argument("--count", type=int, default=20, metavar="N",
+                           help="scenarios to generate / run")
+            p.add_argument("--start", type=int, default=0, metavar="I",
+                           help="first scenario index (batches are an "
+                                "indexed family; generation is "
+                                "index-stable)")
+            p.add_argument("--out", metavar="PATH",
+                           help="write generated JSONL here instead of "
+                                "stdout")
+            p.add_argument("--spec-file", metavar="PATH",
+                           help="run specs from this JSONL file instead of "
+                                "generating them")
+            p.add_argument("--csv", help="export per-scenario records to "
+                                         "this path")
         if name in ("campaign", "resilience", "reproduce", "placement",
-                    "gauntlet"):
+                    "gauntlet", "scenarios"):
             _add_sweep(p)
     _add_worker_parser(sub)
     _add_cache_parser(sub)
@@ -600,6 +626,90 @@ def _cmd_gauntlet(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    from repro.scenario import (
+        DISTRIBUTIONS,
+        ScenarioGenerator,
+        ScenarioSpec,
+        run_batch,
+        to_jsonl,
+    )
+
+    if args.action == "describe":
+        print("distribution     profiles                      users"
+              "   churn  storm  faults")
+        for dist in DISTRIBUTIONS.values():
+            users = (f"{dist.fanout_range[0]}-{dist.fanout_range[1]}"
+                     if dist.fanout_range is not None else
+                     f"{dist.participants_range[0]}-"
+                     f"{dist.participants_range[1]}")
+            print(f"{dist.name:15s}  {','.join(dist.profiles):28s}"
+                  f"  {users:6s}  {dist.churn_probability:5.0%}"
+                  f"  {dist.storm_probability:5.0%}"
+                  f"  {','.join(sorted(set(dist.fault_scenarios)))}")
+        return 0
+
+    if args.distribution not in DISTRIBUTIONS:
+        raise SystemExit(f"error: unknown distribution "
+                         f"{args.distribution!r} (known: "
+                         f"{', '.join(DISTRIBUTIONS)})")
+    if args.spec_file:
+        with open(args.spec_file) as handle:
+            specs = [ScenarioSpec.from_json(line)
+                     for line in handle if line.strip()]
+    else:
+        generator = ScenarioGenerator(args.seed,
+                                      DISTRIBUTIONS[args.distribution])
+        specs = generator.batch(args.count, start=args.start)
+
+    if args.action == "generate":
+        jsonl = to_jsonl(specs)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(jsonl)
+            print(f"wrote {len(specs)} scenarios to {args.out}")
+        else:
+            sys.stdout.write(jsonl)
+        return 0
+
+    from repro.core.errors import CampaignInterrupted
+    from repro.core.journal import RunManifest
+
+    journal = _explicit_journal(args)
+    manifest = RunManifest()
+    _configure_obs(args)
+    try:
+        with _graceful_interrupts():
+            result = run_batch(
+                specs, jobs=args.jobs, cache=_sweep_cache(args),
+                retries=args.max_retries, timeout=args.cell_timeout,
+                journal=journal, resume=args.resume, manifest=manifest,
+                progress=lambda line: print(f"  {line}"),
+            )
+    except CampaignInterrupted:
+        if journal is not None:
+            return _interrupted_exit(journal.path)
+        print("\ninterrupted — no journal; pass --journal PATH to make "
+              "this sweep resumable", file=sys.stderr)
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    _print_manifest(manifest, args)
+    _report_obs(args)
+    print(result.format_table())
+    worst = result.worst()
+    print(f"worst scenario: {worst['name']} (qoe {worst['qoe']:.3f}, "
+          f"worst dimension {worst['worst_dimension']})")
+    means = result.dimension_means()
+    print("dimension means: " + "  ".join(
+        f"{name}={value:.3f}" for name, value in means.items()))
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.analysis.comparison import format_report, validate_all
 
@@ -803,6 +913,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "placement": _cmd_placement,
     "gauntlet": _cmd_gauntlet,
+    "scenarios": _cmd_scenarios,
     "validate": _cmd_validate,
     "report": _cmd_report,
     "reproduce": _cmd_report,

@@ -128,6 +128,8 @@ def _fleet_timeline(
     imp = impairment_timeline(plan, ticks)
     capacity = capacity_factor * n_sessions * session_size / n_servers
     qoe = np.zeros((len(ticks), n_sessions))
+    interactivity = np.zeros((len(ticks), n_sessions))
+    presence = np.zeros((len(ticks), n_sessions))
     shed = np.zeros((len(ticks), n_sessions), dtype=bool)
     failovers = 0
     previous = baseline
@@ -139,12 +141,19 @@ def _fleet_timeline(
                                        capacity, load_t)
         safe = np.where(a_t >= 0, a_t, 0)
         delay = rtt_sessions[rows, safe] / 2.0 + imp.delay_ms[t]
-        qoe[t] = np.where(
-            a_t >= 0, delay_factor_arrays(delay) * imp.wifi_rate[t], 0.0)
+        served = a_t >= 0
+        # The fleet objective factors into two QoE dimensions: delay ->
+        # interactivity, access-rate collapse -> presence.  Their
+        # product reproduces the scalar qoe surface bit for bit.
+        interactivity[t] = np.where(served, delay_factor_arrays(delay),
+                                    0.0)
+        presence[t] = np.where(served, imp.wifi_rate[t], 0.0)
+        qoe[t] = interactivity[t] * presence[t]
         shed[t] = shed_t | (a_t < 0)
         failovers += int((a_t != previous).sum())
         previous = a_t
     return {"qoe": qoe, "shed": shed,
+            "interactivity": interactivity, "presence": presence,
             "failovers": np.int64(failovers)}
 
 
@@ -273,6 +282,18 @@ def evaluate_fleet_cell(
         "qoe_mean": float(faulted["qoe"].mean()),
         "qoe_twin_mean": float(twin["qoe"].mean()),
         "qoe_delta": float(faulted["qoe"].mean() - twin["qoe"].mean()),
+        # Multi-dimensional view (repro.vca.qoe.QoeVector semantics):
+        # the fleet engine exercises interactivity (delay) and presence
+        # (access collapse / shedding); fidelity and comfort have no
+        # fleet-level observable and stay 1.0.  Extra key only — the CSV
+        # column set (FIELDS) is unchanged.
+        "qoe_vector": {
+            "interactivity": float(faulted["interactivity"].mean()),
+            "presence": float(faulted["presence"].mean()),
+            "fidelity": 1.0,
+            "comfort": 1.0,
+            "aggregate": float(faulted["qoe"].mean()),
+        },
     }
 
 

@@ -170,6 +170,18 @@ def evaluate_cell(
         "multi_relay_fraction": float(multi_relay_fraction),
         "cost_units": float(cost),
         "objective": float(qoe_mean - cost_weight * cost),
+        # Multi-dimensional view (repro.vca.qoe.QoeVector semantics):
+        # placement exercises only the interactivity dimension — the
+        # delay factor *is* its QoE objective; the other dimensions have
+        # no placement-level observable and stay 1.0.  Extra key only —
+        # the CSV column set (FIELDS) is unchanged.
+        "qoe_vector": {
+            "interactivity": qoe_mean,
+            "presence": 1.0,
+            "fidelity": 1.0,
+            "comfort": 1.0,
+            "aggregate": qoe_mean,
+        },
         "mean_rtt_to_placement_ms": float(placement.mean_rtt_ms),
         "optimizer_rounds": int(placement.rounds),
         "optimizer_swaps": int(placement.exchange_swaps),

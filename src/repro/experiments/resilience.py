@@ -37,6 +37,9 @@ from repro.faults.metrics import ResilienceReport
 from repro.faults.resilient import ResilienceConfig, SessionResilience
 from repro.faults.schedule import standard_disturbance
 from repro.vca.profiles import PROFILES
+from repro.vca.qoe import QoeVector, frame_rate_factor, quality_factor
+
+from repro import calibration
 
 #: Who gets disturbed and who watches them, in the default testbed.
 VICTIM = "U2"
@@ -67,6 +70,40 @@ class ResilienceRow:
     def audio_only_fraction(self) -> float:
         """Fraction of the call spent at the bottom rung."""
         return self.occupancy.get(LadderLevel.AUDIO_ONLY, 0.0)
+
+    def qoe_vector(self, duration_s: float) -> QoeVector:
+        """The row's observables on the multi-dimensional QoE axes.
+
+        A method (not a field), so the row's ``asdict`` round trip and
+        the CSV column set stay exactly as they were.  Mapping:
+
+        - ``presence`` — fraction of the call the victim's persona was
+          actually there (1 − stall fraction);
+        - ``interactivity`` — the windowed MOS (1–5 scale) rescaled to
+          [0, 1], the study's conversational-quality observable;
+        - ``fidelity`` — :func:`~repro.vca.qoe.quality_factor` of the
+          occupancy-weighted ladder rung quality;
+        - ``comfort`` — :func:`~repro.vca.qoe.frame_rate_factor` of the
+          frame rate implied by stalls (a stalled stream judders; the
+          comfort curve puts its knees at 60 / 90 FPS).
+        """
+        from repro.faults.ladder import LEVEL_QUALITY
+
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        stall_fraction = min(1.0, max(0.0,
+                                      self.total_stall_s / duration_s))
+        presence = 1.0 - stall_fraction
+        interactivity = min(1.0, max(0.0, (self.mos_mean - 1.0) / 4.0))
+        rung_quality = sum(
+            LEVEL_QUALITY[level] * fraction
+            for level, fraction in self.occupancy.items()
+        )
+        fidelity = quality_factor(min(1.0, max(0.0, rung_quality)))
+        comfort = frame_rate_factor(
+            float(calibration.TARGET_FPS) * presence)
+        return QoeVector(interactivity=interactivity, presence=presence,
+                         fidelity=fidelity, comfort=comfort)
 
 
 @dataclass

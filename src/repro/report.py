@@ -271,6 +271,31 @@ def gauntlet_section(settings: ReportSettings) -> str:
                     rows)
 
 
+def scenarios_section(settings: ReportSettings) -> str:
+    """Generated scenario campaigns: seeded workloads, vector QoE."""
+    from repro.scenario import DISTRIBUTIONS, ScenarioGenerator, run_batch
+
+    count = 4 if settings.repeats < calibration.MIN_REPEATS else 8
+    generator = ScenarioGenerator(settings.seed, DISTRIBUTIONS["paper-calls"])
+    result = run_batch(generator.batch(count), **settings.sweep_kwargs())
+    rows = ["```", result.format_table(), "```", ""]
+    worst = result.worst()
+    means = result.dimension_means()
+    rows.append(
+        f"Worst scenario: **{worst['name']}** ({worst['profile']}, "
+        f"{worst['topology']}, n={worst['n_participants']}) — mean QoE "
+        f"{worst['qoe']:.3f}, floor {worst['qoe_min']:.3f}, limited by "
+        f"**{worst['worst_dimension']}**."
+    )
+    rows.append(
+        "Dimension means: " + ", ".join(
+            f"{dim} {value:.3f}" for dim, value in means.items()
+        ) + "."
+    )
+    return _section("Generated scenario campaigns — seeded workloads",
+                    rows)
+
+
 def manifest_section(settings: ReportSettings) -> str:
     """Execution audit: what the sweeps did to produce this report."""
     manifest = settings.manifest
@@ -319,6 +344,7 @@ def generate_report(settings: ReportSettings = ReportSettings()) -> str:
         ablations_section(settings),
         placement_section(settings),
         gauntlet_section(settings),
+        scenarios_section(settings),
     ]
     if settings.manifest is not None:
         sections.append(manifest_section(settings))

@@ -1,0 +1,51 @@
+"""Declarative, seeded scenario workloads for the campaign engine.
+
+The engine of PRs 7-9 can host thousands of cohort sessions, but every
+workload it ran was a hand-coded experiment driver.  This package closes
+the loop:
+
+- :mod:`repro.scenario.spec` — a validated, JSON-round-trippable
+  :class:`~repro.scenario.spec.ScenarioSpec` covering participants,
+  device mix, geo placement, arrival/departure churn, multi-party
+  topologies, cross-traffic storms, and fault-gauntlet attachments;
+- :mod:`repro.scenario.generator` — a seeded
+  :class:`~repro.scenario.generator.ScenarioGenerator` emitting
+  byte-identical spec batches from sha256-derived per-field streams,
+  with a library of named distributions;
+- :mod:`repro.scenario.compiler` — spec ->
+  :class:`~repro.vca.cohort.CohortRunner` /
+  :class:`~repro.faults.cohort.CohortInjector` execution, scored with
+  the multi-dimensional :class:`~repro.vca.qoe.QoeVector`;
+- :mod:`repro.scenario.campaign` — generated batches as
+  :class:`~repro.core.parallel.CellTask` cells on the shared parallel /
+  cached / resumable campaign runner.
+"""
+
+from repro.scenario.campaign import ScenarioCampaignResult, run_batch
+from repro.scenario.compiler import run_scenario_cell
+from repro.scenario.generator import (
+    DISTRIBUTIONS,
+    ScenarioDistribution,
+    ScenarioGenerator,
+    to_jsonl,
+)
+from repro.scenario.spec import (
+    CrossTrafficSpec,
+    FaultSpec,
+    ParticipantSpec,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "CrossTrafficSpec",
+    "DISTRIBUTIONS",
+    "FaultSpec",
+    "ParticipantSpec",
+    "ScenarioCampaignResult",
+    "ScenarioDistribution",
+    "ScenarioGenerator",
+    "ScenarioSpec",
+    "run_batch",
+    "run_scenario_cell",
+    "to_jsonl",
+]

@@ -172,6 +172,43 @@ class SfuCohortResult:
         """Whether the SFU dropped traffic (ingress or fan-out)."""
         return self.ingress_drop_rate > 0.0 or self.egress_drop_rate > 0.0
 
+    def observer_qoe_vector(self, observer: int,
+                            one_way_delay_ms: float):
+        """Multi-dimensional QoE of one sampled observer.
+
+        The fast path has no per-frame receiver, so the dimensions map
+        onto its aggregates: ``presence`` is the observer's delivered
+        downlink share of the full (admitted − 1)-persona demand,
+        ``comfort`` scores the frame rate implied by the late-frame
+        fraction, ``interactivity`` the supplied one-way delay (see
+        :func:`sfu_observer_one_way_ms`), and ``fidelity`` stays 1.0 —
+        the fast path models no degradation ladder.  A user shed at
+        admission scores presence 0 and comfort 0: there is nobody
+        there to experience anything.
+        """
+        from repro.vca.qoe import QoeVector, delay_factor, frame_rate_factor
+
+        interactivity = delay_factor(one_way_delay_ms)
+        if observer in self.shed_users:
+            return QoeVector(interactivity=interactivity, presence=0.0,
+                             fidelity=1.0, comfort=0.0)
+        if observer not in self.observer_windows_mbps:
+            raise KeyError(f"user {observer} was not a sampled observer")
+        admitted = self.n - len(self.shed_users)
+        expected_mbps = calibration.SPATIAL_PERSONA_MBPS * (admitted - 1)
+        windows = self.observer_windows_mbps[observer]
+        mean_mbps = float(np.mean(windows)) if windows else 0.0
+        presence = (min(1.0, mean_mbps / expected_mbps)
+                    if expected_mbps > 0 else 0.0)
+        late = self.observer_late_fraction.get(observer, 0.0)
+        fps = float(calibration.TARGET_FPS) * max(0.0, 1.0 - late)
+        return QoeVector(
+            interactivity=interactivity,
+            presence=presence,
+            fidelity=1.0,
+            comfort=frame_rate_factor(fps),
+        )
+
 
 def _quic_chunk_wire_sizes(frame_bytes: int) -> List[int]:
     """Wire sizes of the datagrams one protected frame produces."""
@@ -529,9 +566,33 @@ def sfu_cohort_downlink(
     )
 
 
+def sfu_observer_one_way_ms(n: int) -> np.ndarray:
+    """Per-user worst-case conversational one-way delay of the cohort.
+
+    The fast path's geography, reused for QoE scoring: user ``i``'s
+    interactive path to the farthest other participant runs sender
+    uplink → SFU → own downlink, so the entry is ``max_j(up_j) +
+    down_i`` under the symmetric one-way model, with the same city
+    rotation and initiator-nearest server selection as
+    :func:`sfu_cohort_downlink`.
+    """
+    if n < 2:
+        raise ValueError("an SFU cohort needs at least two participants")
+    locations = [city(COHORT_CITIES[i % len(COHORT_CITIES)])
+                 for i in range(n)]
+    fleet = build_fleet(PROFILES["FaceTime"].name)
+    server = fleet.select_for_session(locations[0], locations)
+    path = fleet.path_model
+    up_ms = np.array([
+        path.one_way_ms(loc, server.location) for loc in locations
+    ])
+    return up_ms.max() + up_ms  # symmetric: down_i == up_i
+
+
 __all__ = [
     "CohortRunner",
     "SfuCohortResult",
     "sfu_cohort_downlink",
+    "sfu_observer_one_way_ms",
     "COHORT_CITIES",
 ]

@@ -89,14 +89,22 @@ class JitterBuffer:
         together.
 
         Raises:
-            ValueError: On an empty cohort or any empty lane (matching
-                the scalar refusal to play an empty stream).
+            ValueError: On an empty cohort, any empty lane (matching
+                the scalar refusal to play an empty stream), or a lane
+                index outside ``[0, n_lanes)`` — a frame routed to a
+                nonexistent session is a caller bug, not a droppable
+                frame.
         """
         if n_lanes < 1:
             raise ValueError("no lanes to play")
         send = np.asarray(send_s, dtype=np.float64)
         arrival = np.asarray(arrival_s, dtype=np.float64)
         lane = np.asarray(lanes, dtype=np.int64)
+        if lane.size and ((lane < 0) | (lane >= n_lanes)).any():
+            raise ValueError(
+                f"lane indices must be in [0, {n_lanes}); "
+                f"got range [{int(lane.min())}, {int(lane.max())}]"
+            )
         frames = np.bincount(lane, minlength=n_lanes)
         if (frames == 0).any():
             raise ValueError("no frames to play")
@@ -230,13 +238,28 @@ def minimal_playout_delay_ms(
         raise ValueError("late budget must be in [0, 1)")
     delays_ms = np.arange(0.0, max_delay_ms + resolution_ms, resolution_ms)
     one_way = np.array([a - s for s, a in timestamps]) * 1000.0
-    for delay in delays_ms:
-        if float(np.mean(one_way > delay)) <= late_budget:
-            return float(delay)
-    raise ValueError(
+    cannot_meet = ValueError(
         f"cannot meet a {late_budget:.1%} late budget within "
         f"{max_delay_ms} ms"
     )
+    n = one_way.size
+    if n == 0:
+        raise cannot_meet
+    # Largest late count m with m/n <= late_budget under the exact float
+    # comparison the grid scan used (np.mean == count/n); floor(budget*n)
+    # can land one off either way (e.g. budget=1/3, n=3 rounds to 0.999…).
+    m = int(np.floor(late_budget * n))
+    while m + 1 < n and (m + 1) / n <= late_budget:
+        m += 1
+    while m > 0 and m / n > late_budget:
+        m -= 1
+    # Any delay >= the (n - m)-th smallest one-way sample leaves at most
+    # m frames strictly late; anything smaller leaves at least m + 1.
+    quantile = np.partition(one_way, n - m - 1)[n - m - 1]
+    index = int(np.searchsorted(delays_ms, quantile, side="left"))
+    if index >= delays_ms.size:
+        raise cannot_meet
+    return float(delays_ms[index])
 
 
 def persona_playout_budget_ms(network_jitter_std_ms: float,

@@ -106,12 +106,25 @@ def check_feasibility(profile: VcaProfile, devices: Sequence[Device],
                       uplink_capacity_mbps: float,
                       downlink_capacity_mbps: float,
                       headroom: float = 0.85) -> FeasibilityVerdict:
-    """Plan and check one session against an access link."""
+    """Plan and check one session against an access link.
+
+    Each direction is checked through :meth:`BandwidthPlan.fits` with the
+    opposite capacity unconstrained, so ``headroom`` obeys the same
+    ``(0, 1]`` contract in both entry points.  When both directions fail,
+    ``limiting_direction`` reports ``"uplink"`` — the uplink is the
+    binding constraint for the spatial persona (no rate adaptation), so
+    it wins ties.
+
+    Raises:
+        ValueError: For non-positive capacities or ``headroom`` outside
+            ``(0, 1]``.
+    """
     if uplink_capacity_mbps <= 0 or downlink_capacity_mbps <= 0:
         raise ValueError("capacities must be positive")
     plan = plan_session(profile, devices)
-    up_ok = plan.uplink_mbps <= uplink_capacity_mbps * headroom
-    down_ok = plan.downlink_mbps <= downlink_capacity_mbps * headroom
+    unconstrained = float("inf")
+    up_ok = plan.fits(uplink_capacity_mbps, unconstrained, headroom)
+    down_ok = plan.fits(unconstrained, downlink_capacity_mbps, headroom)
     limiting = None
     if not up_ok:
         limiting = "uplink"
@@ -125,7 +138,15 @@ def max_users_for_capacity(profile: VcaProfile, device_factory,
                            downlink_capacity_mbps: float,
                            headroom: float = 0.85,
                            hard_cap: int = 50) -> int:
-    """Largest session the capacities support (0 if even two users fail)."""
+    """Largest session the capacities support (0 if even two users fail).
+
+    Raises:
+        ValueError: For ``headroom`` outside ``(0, 1]`` — validated
+            eagerly so the spatial-cap ``ValueError`` handler below
+            cannot swallow a bad argument as "zero users fit".
+    """
+    if headroom <= 0 or headroom > 1:
+        raise ValueError("headroom must be in (0, 1]")
     best = 0
     for n in range(2, hard_cap + 1):
         devices: List[Device] = [device_factory() for _ in range(n)]

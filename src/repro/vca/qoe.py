@@ -109,3 +109,84 @@ def meets_high_qoe_bar(factors: QoeFactors, bar: float = 0.85) -> bool:
     if not 0.0 < bar <= 1.0:
         raise ValueError("bar must be in (0, 1]")
     return score(factors) >= bar
+
+
+@dataclass(frozen=True)
+class QoeVector:
+    """Per-dimension QoE, following the immersive-communication taxonomy.
+
+    The scalar :func:`score` collapses four perceptually distinct
+    impairments into one number; surveys of immersive communication
+    systems (Pérez et al.) instead report QoE along separate axes.  Each
+    dimension here is one factor of the scalar model, in [0, 1]:
+
+    - ``interactivity`` — :func:`delay_factor` of the one-way delay
+      (conversational responsiveness, Sec. 4.1's 100 ms threshold);
+    - ``presence`` — persona availability (is the remote user *there*);
+    - ``fidelity`` — :func:`quality_factor` of the triangle fraction
+      (visual quality of the rendered persona);
+    - ``comfort`` — :func:`frame_rate_factor` of the displayed FPS
+      (judder / headset comfort, Sec. 4.5's 90 FPS deadline).
+
+    **Aggregation**: :meth:`aggregate` multiplies the four dimensions in
+    the same left-to-right order as :func:`score` (availability, delay,
+    frame rate, quality), so it is bit-identical to the legacy scalar —
+    existing CSV columns and thresholds keep their meaning, and the
+    vector is pure added resolution.
+    """
+
+    interactivity: float
+    presence: float
+    fidelity: float
+    comfort: float
+
+    def __post_init__(self) -> None:
+        for name in ("interactivity", "presence", "fidelity", "comfort"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @classmethod
+    def from_factors(cls, factors: QoeFactors,
+                     target_fps: float = float(calibration.TARGET_FPS)
+                     ) -> "QoeVector":
+        """Decompose :class:`QoeFactors` into the four dimensions."""
+        return cls(
+            interactivity=delay_factor(factors.one_way_delay_ms),
+            presence=factors.persona_availability,
+            fidelity=quality_factor(factors.triangle_fraction),
+            comfort=frame_rate_factor(factors.displayed_fps, target_fps),
+        )
+
+    def aggregate(self) -> float:
+        """Multiplicative scalar, bit-identical to :func:`score`.
+
+        Float multiplication commutes pairwise but does not associate,
+        so the factor order (presence, interactivity, comfort, fidelity)
+        mirrors the grouping inside :func:`score` exactly.
+        """
+        return (
+            self.presence * self.interactivity
+            * self.comfort * self.fidelity
+        )
+
+    def worst_dimension(self) -> str:
+        """Name of the most impaired dimension (ties break in the
+        declaration order above)."""
+        values = {
+            "interactivity": self.interactivity,
+            "presence": self.presence,
+            "fidelity": self.fidelity,
+            "comfort": self.comfort,
+        }
+        return min(values, key=values.get)
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping, for experiment records and reports."""
+        return {
+            "interactivity": self.interactivity,
+            "presence": self.presence,
+            "fidelity": self.fidelity,
+            "comfort": self.comfort,
+            "aggregate": self.aggregate(),
+        }

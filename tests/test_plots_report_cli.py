@@ -78,8 +78,8 @@ class TestCliParser:
         assert set(sub.choices) == {
             "table1", "protocols", "fig4", "content", "rate",
             "fig5", "fig6", "ablations", "resilience", "campaign",
-            "placement", "gauntlet", "validate", "report", "reproduce",
-            "worker", "cache",
+            "placement", "gauntlet", "scenarios", "validate", "report",
+            "reproduce", "worker", "cache",
         }
 
     def test_missing_command_errors(self):

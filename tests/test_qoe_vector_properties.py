@@ -1,0 +1,141 @@
+"""Property suite for the QoE model: scalar/vector agreement, knee
+continuity, and the QoeVector's bit-identical aggregation contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import calibration
+from repro.vca.profiles import PROFILES
+from repro.vca.qoe import (
+    QoeFactors,
+    QoeVector,
+    delay_factor,
+    delay_factor_arrays,
+    frame_rate_factor,
+    quality_factor,
+    score,
+)
+
+_delays = st.floats(min_value=0.0, max_value=2000.0,
+                    allow_nan=False, allow_infinity=False)
+_unit = st.floats(min_value=0.0, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+_fps = st.floats(min_value=0.0, max_value=240.0,
+                 allow_nan=False, allow_infinity=False)
+
+TARGET = float(calibration.TARGET_FPS)
+
+
+class TestDelayFactorEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(_delays)
+    def test_scalar_equals_vectorized_bit_exact(self, delay):
+        scalar = delay_factor(delay)
+        vector = delay_factor_arrays(np.array([delay]))
+        assert scalar == float(vector[0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_delays, min_size=1, max_size=64))
+    def test_array_elements_match_scalar(self, delays):
+        vector = delay_factor_arrays(np.array(delays))
+        for delay, value in zip(delays, vector):
+            assert delay_factor(delay) == float(value)
+
+    def test_threshold_edge(self):
+        assert delay_factor(100.0) == 1.0
+        assert float(delay_factor_arrays(np.array([100.0]))[0]) == 1.0
+        assert delay_factor(np.nextafter(100.0, np.inf)) < 1.0
+
+
+class TestFrameRateKnees:
+    @settings(max_examples=200, deadline=None)
+    @given(_fps)
+    def test_monotone_and_bounded(self, fps):
+        value = frame_rate_factor(fps)
+        assert 0.0 <= value <= 1.0
+        assert frame_rate_factor(fps + 1.0) >= value
+
+    @pytest.mark.parametrize("knee", [60.0, TARGET])
+    def test_continuity_at_knee(self, knee):
+        below = frame_rate_factor(np.nextafter(knee, 0.0))
+        at = frame_rate_factor(knee)
+        above = frame_rate_factor(np.nextafter(knee, np.inf))
+        assert at - below < 1e-9
+        assert above - at < 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(_fps, st.floats(min_value=61.0, max_value=240.0,
+                           allow_nan=False))
+    def test_lipschitz_for_any_target(self, fps, target):
+        # Piecewise linear with slope at most max(0.9/60, 0.1/(target-60)).
+        low = frame_rate_factor(max(0.0, fps - 1e-6), target)
+        high = frame_rate_factor(fps + 1e-6, target)
+        slope = max(0.9 / 60.0, 0.1 / (target - 60.0))
+        assert 0.0 <= high - low <= slope * 2e-6 + 1e-12
+
+    def test_knee_values(self):
+        assert frame_rate_factor(TARGET) == 1.0
+        assert frame_rate_factor(60.0) == pytest.approx(0.9)
+        assert frame_rate_factor(0.0) == 0.0
+
+
+class TestVectorAggregation:
+    @settings(max_examples=200, deadline=None)
+    @given(_delays, _unit, _fps, _unit)
+    def test_aggregate_equals_score_bit_exact(self, delay, avail, fps,
+                                              triangles):
+        factors = QoeFactors(one_way_delay_ms=delay,
+                             persona_availability=avail,
+                             displayed_fps=fps,
+                             triangle_fraction=triangles)
+        vector = QoeVector.from_factors(factors)
+        assert vector.aggregate() == score(factors)
+
+    def test_aggregate_equals_score_on_the_four_profiles(self):
+        # The paper's four VCAs at their measured operating points: each
+        # profile's delivered FPS and a spread of delays/availabilities.
+        for name, profile in PROFILES.items():
+            for delay in (20.0, 100.0, 180.0, 400.0):
+                for avail in (1.0, 0.9, 0.5):
+                    factors = QoeFactors(
+                        one_way_delay_ms=delay,
+                        persona_availability=avail,
+                        displayed_fps=float(profile.video_fps),
+                        triangle_fraction=0.8,
+                    )
+                    vector = QoeVector.from_factors(factors)
+                    assert vector.aggregate() == score(factors), name
+
+    @settings(max_examples=100, deadline=None)
+    @given(_delays, _unit, _fps, _unit)
+    def test_dimensions_are_the_scalar_factors(self, delay, avail, fps,
+                                               triangles):
+        factors = QoeFactors(one_way_delay_ms=delay,
+                             persona_availability=avail,
+                             displayed_fps=fps,
+                             triangle_fraction=triangles)
+        vector = QoeVector.from_factors(factors)
+        assert vector.interactivity == delay_factor(delay)
+        assert vector.presence == avail
+        assert vector.fidelity == quality_factor(triangles)
+        assert vector.comfort == frame_rate_factor(fps)
+
+    def test_validation_and_helpers(self):
+        with pytest.raises(ValueError, match="presence"):
+            QoeVector(interactivity=1.0, presence=1.5, fidelity=1.0,
+                      comfort=1.0)
+        vector = QoeVector(interactivity=0.9, presence=0.8, fidelity=0.7,
+                           comfort=0.6)
+        assert vector.worst_dimension() == "comfort"
+        payload = vector.to_dict()
+        assert payload["aggregate"] == vector.aggregate()
+        assert set(payload) == {"interactivity", "presence", "fidelity",
+                                "comfort", "aggregate"}
+
+    def test_worst_dimension_tie_breaks_in_declaration_order(self):
+        tied = QoeVector(interactivity=0.5, presence=0.5, fidelity=0.5,
+                         comfort=0.5)
+        assert tied.worst_dimension() == "interactivity"

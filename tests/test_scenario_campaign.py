@@ -1,0 +1,160 @@
+"""Scenario compiler + campaign runner: execution, determinism, caching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.journal import RunJournal
+from repro.scenario.campaign import (
+    QOE_DIMENSIONS,
+    ScenarioCampaignResult,
+    run_batch,
+)
+from repro.scenario.compiler import run_scenario_cell
+from repro.scenario.spec import (
+    CrossTrafficSpec,
+    FaultSpec,
+    ParticipantSpec,
+    ScenarioSpec,
+)
+
+
+def _spec(name="cell", duration_s=4.0, **overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name=name,
+        profile="Zoom",
+        topology="p2p",
+        duration_s=duration_s,
+        seed=0,
+        participants=(
+            ParticipantSpec(device="vision-pro", city="san jose"),
+            ParticipantSpec(device="macbook", city="dallas"),
+        ),
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def _canonical(records) -> str:
+    return json.dumps(records, sort_keys=True)
+
+
+class TestCompiler:
+    def test_session_record_shape(self):
+        record = run_scenario_cell(_spec().to_dict())
+        for field in ScenarioCampaignResult.FIELDS:
+            assert field in record
+        assert record["topology"] == "p2p"
+        assert record["n_participants"] == 2
+        assert 0.0 <= record["qoe_min"] <= record["qoe"] <= 1.0
+        for dim in QOE_DIMENSIONS:
+            assert 0.0 <= record[f"qoe_{dim}"] <= 1.0
+        assert record["worst_dimension"] in QOE_DIMENSIONS
+
+    def test_cell_is_deterministic(self):
+        spec = _spec(faults=FaultSpec(scenario="brownout", region_index=1),
+                     duration_s=6.0).to_dict()
+        assert _canonical(run_scenario_cell(spec)) == _canonical(
+            run_scenario_cell(spec))
+
+    def test_standard_gauntlet_attaches_five_faults(self):
+        record = run_scenario_cell(
+            _spec(duration_s=12.0,
+                  faults=FaultSpec(scenario="standard")).to_dict())
+        assert record["fault_scenario"] == "standard"
+        assert record["fault_events"] == 5
+        clean = run_scenario_cell(_spec(duration_s=12.0).to_dict())
+        assert clean["fault_events"] == 0
+        assert record["qoe"] < clean["qoe"]
+
+    def test_churn_blacks_out_the_window(self):
+        churny = _spec(name="churn", participants=(
+            ParticipantSpec(device="vision-pro", city="san jose"),
+            ParticipantSpec(device="macbook", city="dallas",
+                            arrives_s=2.0),
+        ), duration_s=4.0)
+        record = run_scenario_cell(churny.to_dict())
+        clean = run_scenario_cell(_spec().to_dict())
+        # A late joiner contributes no media for half the call.
+        assert record["fault_events"] == 1
+        assert record["availability_mean"] < clean["availability_mean"]
+        assert record["qoe_presence"] < clean["qoe_presence"]
+
+    def test_cross_traffic_flows_counted(self):
+        record = run_scenario_cell(_spec(cross_traffic=(
+            CrossTrafficSpec(kind="bulk", source=1, rate_mbps=60.0),
+        )).to_dict())
+        assert record["cross_traffic_flows"] == 1
+
+    def test_multi_sfu_fast_path(self):
+        spec = ScenarioSpec(name="fan", profile="FaceTime",
+                            topology="multi-sfu", duration_s=5.0, seed=2,
+                            fanout=12)
+        record = run_scenario_cell(spec.to_dict())
+        assert record["topology"] == "multi-sfu"
+        assert record["n_participants"] == 12
+        assert "delivered_egress_mbps" in record
+        assert 0.0 <= record["qoe"] <= 1.0
+        assert _canonical(record) == _canonical(
+            run_scenario_cell(spec.to_dict()))
+
+
+class TestCampaign:
+    def _batch_specs(self):
+        return [
+            _spec(name="a"),
+            _spec(name="b", profile="Webex", topology="sfu"),
+            ScenarioSpec(name="c", profile="FaceTime",
+                         topology="multi-sfu", duration_s=4.0, seed=1,
+                         fanout=8),
+        ]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_batch([_spec(name="x"), _spec(name="x")])
+
+    def test_records_in_spec_order(self):
+        result = run_batch(self._batch_specs())
+        assert [r["name"] for r in result.records] == ["a", "b", "c"]
+        assert len(result) == 3
+        assert result.record("b")["profile"] == "Webex"
+        with pytest.raises(KeyError):
+            result.record("zzz")
+
+    def test_cached_resume_is_byte_identical(self, tmp_path):
+        specs = self._batch_specs()
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "run.jsonl"
+        with RunJournal(journal) as j:
+            first = run_batch(specs, cache=cache, journal=j)
+        with RunJournal(journal) as j:
+            replay = run_batch(specs, cache=cache, journal=j, resume=True)
+        assert _canonical(first.records) == _canonical(replay.records)
+        # Cache-only replay (no journal) must also match.
+        cached = run_batch(specs, cache=cache)
+        assert _canonical(first.records) == _canonical(cached.records)
+
+    def test_result_helpers(self, tmp_path):
+        result = run_batch(self._batch_specs())
+        worst = result.worst()
+        assert worst["qoe"] == min(r["qoe"] for r in result.records)
+        means = result.dimension_means()
+        assert set(means) == set(QOE_DIMENSIONS)
+        assert all(0.0 <= v <= 1.0 for v in means.values())
+        table = result.format_table()
+        assert "a" in table and "worst-dim" in table
+        csv_path = tmp_path / "out.csv"
+        result.to_csv(csv_path)
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == ",".join(ScenarioCampaignResult.FIELDS)
+        assert len(lines) == 1 + len(result)
+
+    def test_empty_result_raises(self):
+        empty = ScenarioCampaignResult(records=[])
+        with pytest.raises(ValueError):
+            empty.worst()
+        with pytest.raises(ValueError):
+            empty.dimension_means()

@@ -1,0 +1,262 @@
+"""Scenario DSL: spec validation, JSON round trip, generator determinism."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.scenario.generator import (
+    DISTRIBUTIONS,
+    ScenarioDistribution,
+    ScenarioGenerator,
+    to_jsonl,
+)
+from repro.scenario.spec import (
+    CITIES,
+    FAULT_SCENARIOS,
+    TOPOLOGIES,
+    CrossTrafficSpec,
+    FaultSpec,
+    ParticipantSpec,
+    ScenarioSpec,
+)
+
+
+def _two_party(profile: str = "Zoom", **overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name="t",
+        profile=profile,
+        topology="p2p",
+        duration_s=12.0,
+        seed=0,
+        participants=(
+            ParticipantSpec(device="vision-pro", city="san jose"),
+            ParticipantSpec(device="macbook", city="dallas"),
+        ),
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestParticipantSpec:
+    def test_rejects_unknown_device_and_city(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            ParticipantSpec(device="quest", city="san jose")
+        with pytest.raises(ValueError, match="unknown city"):
+            ParticipantSpec(device="ipad", city="paris")
+
+    def test_rejects_inverted_churn_window(self):
+        with pytest.raises(ValueError, match="departs_s"):
+            ParticipantSpec(device="ipad", city="miami",
+                            arrives_s=5.0, departs_s=5.0)
+        with pytest.raises(ValueError, match="arrives_s"):
+            ParticipantSpec(device="ipad", city="miami", arrives_s=-1.0)
+
+
+class TestCrossTrafficSpec:
+    def test_rejects_bad_kind_rate_window(self):
+        with pytest.raises(ValueError, match="unknown cross-traffic"):
+            CrossTrafficSpec(kind="udp-flood", source=0, rate_mbps=10.0)
+        with pytest.raises(ValueError, match="rate"):
+            CrossTrafficSpec(kind="bulk", source=0, rate_mbps=0.0)
+        with pytest.raises(ValueError, match="stop_s"):
+            CrossTrafficSpec(kind="bulk", source=0, rate_mbps=10.0,
+                             start_s=4.0, stop_s=3.0)
+
+
+class TestFaultSpec:
+    def test_catalog_plus_standard(self):
+        for name in FAULT_SCENARIOS:
+            if name == "none":
+                FaultSpec(scenario=name)
+            else:
+                FaultSpec(scenario=name, region_index=1, n_regions=3)
+        with pytest.raises(ValueError, match="unknown fault"):
+            FaultSpec(scenario="earthquake")
+        with pytest.raises(ValueError, match="region_index"):
+            FaultSpec(scenario="brownout", region_index=3, n_regions=3)
+
+
+class TestScenarioSpecValidation:
+    def test_topology_must_match_profile_behavior(self):
+        # Zoom two-party is P2P; declaring sfu is a lie the spec rejects.
+        with pytest.raises(ValueError, match="peer-to-peer"):
+            _two_party("Zoom", topology="sfu")
+        # Webex never goes P2P.
+        with pytest.raises(ValueError, match="'sfu'"):
+            _two_party("Webex")
+        _two_party("Webex", topology="sfu")  # the truthful declaration
+
+    def test_facetime_both_headsets_is_relayed_spatial(self):
+        spec = ScenarioSpec(
+            name="spatial", profile="FaceTime", topology="sfu",
+            duration_s=10.0, seed=1,
+            participants=(
+                ParticipantSpec(device="vision-pro", city="seattle"),
+                ParticipantSpec(device="vision-pro", city="chicago"),
+            ),
+        )
+        assert spec.n_users == 2
+
+    def test_spatial_persona_cap(self):
+        members = tuple(
+            ParticipantSpec(device="vision-pro", city=CITIES[i])
+            for i in range(6)
+        )
+        with pytest.raises(ValueError, match="caps spatial"):
+            ScenarioSpec(name="big", profile="FaceTime", topology="sfu",
+                         duration_s=10.0, seed=0, participants=members)
+
+    def test_initiator_cannot_churn(self):
+        with pytest.raises(ValueError, match="initiator"):
+            _two_party("Zoom", participants=(
+                ParticipantSpec(device="vision-pro", city="san jose",
+                                arrives_s=2.0),
+                ParticipantSpec(device="macbook", city="dallas"),
+            ))
+
+    def test_churn_window_must_fit_duration(self):
+        with pytest.raises(ValueError, match="arrives after"):
+            _two_party("Zoom", participants=(
+                ParticipantSpec(device="vision-pro", city="san jose"),
+                ParticipantSpec(device="macbook", city="dallas",
+                                arrives_s=20.0),
+            ))
+        with pytest.raises(ValueError, match="departs after"):
+            _two_party("Zoom", participants=(
+                ParticipantSpec(device="vision-pro", city="san jose"),
+                ParticipantSpec(device="macbook", city="dallas",
+                                departs_s=15.0),
+            ))
+
+    def test_cross_traffic_source_must_exist(self):
+        with pytest.raises(ValueError, match="names participant 2"):
+            _two_party("Zoom", cross_traffic=(
+                CrossTrafficSpec(kind="bulk", source=2, rate_mbps=50.0),
+            ))
+
+    def test_standard_gauntlet_needs_room(self):
+        with pytest.raises(ValueError, match="standard disturbance"):
+            _two_party("Zoom", duration_s=8.0,
+                       faults=FaultSpec(scenario="standard"))
+
+    def test_multi_sfu_constraints(self):
+        spec = ScenarioSpec(name="fanout", profile="FaceTime",
+                            topology="multi-sfu", duration_s=6.0, seed=0,
+                            fanout=16)
+        assert spec.n_users == 16
+        with pytest.raises(ValueError, match="fanout >= 2"):
+            ScenarioSpec(name="f", profile="FaceTime",
+                         topology="multi-sfu", duration_s=6.0, seed=0)
+        with pytest.raises(ValueError, match="FaceTime only"):
+            ScenarioSpec(name="f", profile="Zoom", topology="multi-sfu",
+                         duration_s=6.0, seed=0, fanout=8)
+        with pytest.raises(ValueError, match="fault injector"):
+            ScenarioSpec(name="f", profile="FaceTime",
+                         topology="multi-sfu", duration_s=6.0, seed=0,
+                         fanout=8, faults=FaultSpec(scenario="brownout",
+                                                    region_index=0))
+
+    def test_fanout_rejected_for_sessions(self):
+        with pytest.raises(ValueError, match="only meaningful"):
+            _two_party("Zoom", fanout=4)
+
+
+class TestRoundTrip:
+    def test_dict_and_json_round_trip_every_topology(self):
+        specs = [
+            _two_party("Zoom"),
+            _two_party("Webex", topology="sfu", cross_traffic=(
+                CrossTrafficSpec(kind="burst", source=1, rate_mbps=80.0,
+                                 start_s=2.0, stop_s=9.0, seed_salt=1),
+            ), faults=FaultSpec(scenario="brownout", region_index=2)),
+            ScenarioSpec(name="fanout", profile="FaceTime",
+                         topology="multi-sfu", duration_s=6.0, seed=3,
+                         fanout=24),
+        ]
+        for spec in specs:
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_keys_rejected(self):
+        payload = _two_party("Zoom").to_dict()
+        payload["bitrate"] = 5
+        with pytest.raises(ValueError, match="unknown keys"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = _two_party("Zoom").to_json()
+        assert ": " not in text and ", " not in text
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_bytes(self):
+        for dist in DISTRIBUTIONS.values():
+            a = to_jsonl(ScenarioGenerator(7, dist).batch(12))
+            b = to_jsonl(ScenarioGenerator(7, dist).batch(12))
+            assert a == b
+            assert a != to_jsonl(ScenarioGenerator(8, dist).batch(12))
+
+    def test_index_independence(self):
+        gen = ScenarioGenerator(7, DISTRIBUTIONS["paper-calls"])
+        # Generating out of order, or one index alone, changes nothing.
+        alone = gen.generate(5)
+        in_batch = gen.batch(12)[5]
+        assert alone == in_batch
+        assert gen.batch(3, start=4)[1] == alone
+
+    def test_cross_process_bytes(self):
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.scenario.generator import (DISTRIBUTIONS,"
+            " ScenarioGenerator, to_jsonl)\n"
+            "gen = ScenarioGenerator(7, DISTRIBUTIONS['paper-calls'])\n"
+            "sys.stdout.write(to_jsonl(gen.batch(10)))\n"
+        )
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        runs = [
+            subprocess.run([sys.executable, "-c", script], cwd=root,
+                           capture_output=True, text=True, check=True).stdout
+            for _ in range(2)
+        ]
+        local = to_jsonl(
+            ScenarioGenerator(7, DISTRIBUTIONS["paper-calls"]).batch(10))
+        assert runs[0] == runs[1] == local
+
+    def test_generated_specs_are_valid_and_round_trip(self):
+        for dist in DISTRIBUTIONS.values():
+            for spec in ScenarioGenerator(3, dist).batch(20):
+                assert spec.topology in TOPOLOGIES
+                assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_distribution_shapes(self):
+        calls = ScenarioGenerator(0, DISTRIBUTIONS["paper-calls"]).batch(30)
+        assert all(2 <= s.n_users <= 5 for s in calls)
+        assert all(s.participants[0].device == "vision-pro" for s in calls)
+        churny = ScenarioGenerator(0, DISTRIBUTIONS["churn-heavy"]).batch(30)
+        churned = sum(
+            1 for s in churny for p in s.participants[1:]
+            if p.arrives_s > 0.0 or p.departs_s is not None
+        )
+        assert churned > 0
+        stormy = ScenarioGenerator(0, DISTRIBUTIONS["storm-heavy"]).batch(10)
+        assert all(len(s.cross_traffic) >= 1 for s in stormy)
+        fan = ScenarioGenerator(0, DISTRIBUTIONS["large-sfu"]).batch(10)
+        assert all(s.topology == "multi-sfu" and 8 <= s.fanout <= 48
+                   for s in fan)
+
+    def test_distribution_validation(self):
+        with pytest.raises(ValueError, match="participants_range"):
+            ScenarioDistribution(
+                name="bad", profiles=("Zoom",), participants_range=(1, 3),
+                devices=("ipad",), spatial_bias=0.0, churn_probability=0.0,
+                storm_probability=0.0, max_storm_flows=0,
+                fault_scenarios=("none",), duration_range=(5.0, 10.0),
+            )

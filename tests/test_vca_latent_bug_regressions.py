@@ -1,0 +1,155 @@
+"""Regression tests for three latent bugs fixed in the VCA layer.
+
+Each test fails on the pre-fix code:
+
+1. **Planner headroom bypass** — ``check_feasibility`` computed its own
+   capacity comparisons instead of routing through
+   ``BandwidthPlan.fits``, so ``headroom=0`` or ``headroom=1.5`` was
+   silently accepted (producing nonsense verdicts) while ``fits()``
+   raises; ``max_users_for_capacity`` went further and swallowed the
+   bad argument as "zero users fit".
+
+2. **Batch lanes out of range** — ``JitterBuffer.play_batch`` let a
+   frame routed to ``lanes[i] >= n_lanes`` grow the bincount silently
+   (the report loop only reads ``range(n_lanes)``, so the frame just
+   vanished), and a negative lane surfaced as numpy's bincount error.
+   Both are caller bugs and now raise the buffer's own ``ValueError``.
+
+3. **Quantile scan** — ``minimal_playout_delay_ms`` scanned the whole
+   delay grid at O(n·m); it is now a direct quantile (partition +
+   searchsorted) that must return the *identical* grid-snapped value,
+   and must not take grid-scan time on big streams.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.devices.models import MacBook, VisionPro
+from repro.vca.jitterbuffer import JitterBuffer, minimal_playout_delay_ms
+from repro.vca.planner import check_feasibility, max_users_for_capacity
+from repro.vca.profiles import PROFILES
+
+
+class TestPlannerHeadroomValidation:
+    def _devices(self):
+        return [VisionPro(), MacBook()]
+
+    @pytest.mark.parametrize("headroom", [0.0, -0.5, 1.5])
+    def test_check_feasibility_rejects_bad_headroom(self, headroom):
+        with pytest.raises(ValueError, match="headroom"):
+            check_feasibility(PROFILES["Zoom"], self._devices(),
+                              uplink_capacity_mbps=100.0,
+                              downlink_capacity_mbps=100.0,
+                              headroom=headroom)
+
+    @pytest.mark.parametrize("headroom", [0.0, -0.5, 1.5])
+    def test_max_users_rejects_instead_of_returning_zero(self, headroom):
+        with pytest.raises(ValueError, match="headroom"):
+            max_users_for_capacity(PROFILES["Zoom"], MacBook,
+                                   uplink_capacity_mbps=100.0,
+                                   downlink_capacity_mbps=100.0,
+                                   headroom=headroom)
+
+    def test_verdicts_unchanged_for_valid_headroom(self):
+        verdict = check_feasibility(PROFILES["Zoom"], self._devices(),
+                                    uplink_capacity_mbps=100.0,
+                                    downlink_capacity_mbps=100.0)
+        assert verdict.feasible and verdict.limiting_direction is None
+        tight = check_feasibility(PROFILES["Zoom"], self._devices(),
+                                  uplink_capacity_mbps=0.001,
+                                  downlink_capacity_mbps=0.001)
+        # Both directions fail: the documented tie goes to the uplink.
+        assert not tight.feasible
+        assert tight.limiting_direction == "uplink"
+
+
+class TestPlayBatchLaneValidation:
+    def _buffer(self):
+        return JitterBuffer(playout_delay_ms=20.0)
+
+    def test_overflowing_lane_raises_not_drops(self):
+        send = np.array([0.0, 0.1, 0.2])
+        arrival = send + 0.005
+        with pytest.raises(ValueError, match=r"lane indices must be in"):
+            self._buffer().play_batch(send, arrival,
+                                      np.array([0, 1, 2]), n_lanes=2)
+
+    def test_negative_lane_raises_the_buffers_error(self):
+        send = np.array([0.0, 0.1])
+        arrival = send + 0.005
+        with pytest.raises(ValueError, match=r"lane indices must be in"):
+            self._buffer().play_batch(send, arrival,
+                                      np.array([0, -1]), n_lanes=2)
+
+    def test_valid_lanes_still_match_scalar_path(self):
+        rng = np.random.default_rng(0)
+        send = np.sort(rng.uniform(0.0, 5.0, size=200))
+        arrival = send + rng.uniform(0.0, 0.05, size=200)
+        lanes = rng.integers(0, 3, size=200)
+        buffer = self._buffer()
+        reports = buffer.play_batch(send, arrival, lanes, n_lanes=3)
+        for lane in range(3):
+            mask = lanes == lane
+            scalar = buffer.play(list(zip(send[mask], arrival[mask])))
+            assert reports[lane].frames == scalar.frames
+            assert reports[lane].late_frames == scalar.late_frames
+            # Summation order differs between the two paths; counts are
+            # exact, the mean agrees to float precision.
+            assert reports[lane].mean_wait_ms == pytest.approx(
+                scalar.mean_wait_ms, rel=1e-12)
+
+
+class TestMinimalPlayoutDelayQuantile:
+    @staticmethod
+    def _grid_scan(timestamps, late_budget=0.01, resolution_ms=0.5,
+                   max_delay_ms=500.0):
+        """The original O(n·m) reference implementation."""
+        delays_ms = np.arange(0.0, max_delay_ms + resolution_ms,
+                              resolution_ms)
+        one_way = np.array([a - s for s, a in timestamps]) * 1000.0
+        for delay in delays_ms:
+            if float(np.mean(one_way > delay)) <= late_budget:
+                return float(delay)
+        raise ValueError("cannot meet")
+
+    def test_equals_grid_scan_on_random_streams(self):
+        rng = np.random.default_rng(7)
+        for _ in range(150):
+            n = int(rng.integers(1, 60))
+            send = np.sort(rng.uniform(0.0, 10.0, size=n))
+            arrival = send + rng.gamma(2.0, 0.01, size=n)
+            timestamps = list(zip(send, arrival))
+            budget = float(rng.choice([0.0, 0.01, 0.05, 1 / 3, 0.5]))
+            resolution = float(rng.choice([0.25, 0.5, 1.0]))
+            assert minimal_playout_delay_ms(
+                timestamps, late_budget=budget, resolution_ms=resolution,
+            ) == self._grid_scan(timestamps, late_budget=budget,
+                                 resolution_ms=resolution)
+
+    def test_unmeetable_budget_still_raises(self):
+        timestamps = [(0.0, 10.0)]  # 10 s one-way
+        with pytest.raises(ValueError, match="cannot meet"):
+            minimal_playout_delay_ms(timestamps, late_budget=0.0,
+                                     max_delay_ms=500.0)
+        with pytest.raises(ValueError, match="late budget"):
+            minimal_playout_delay_ms(timestamps, late_budget=1.0)
+
+    def test_no_longer_scans_the_grid(self):
+        # 40k frames against a 0.01 ms grid whose answer sits at the far
+        # end: the old scan walks ~50k grid points x 40k frames (about
+        # 2 s); the quantile path is one partition + searchsorted
+        # (milliseconds), so half a second is a generous dividing line.
+        rng = np.random.default_rng(1)
+        send = np.sort(rng.uniform(0.0, 60.0, size=40_000))
+        arrival = send + rng.uniform(0.400, 0.499, size=40_000)
+        timestamps = list(zip(send, arrival))
+        start = time.perf_counter()
+        delay = minimal_playout_delay_ms(timestamps, late_budget=0.0,
+                                         resolution_ms=0.01)
+        elapsed = time.perf_counter() - start
+        assert delay >= 400.0
+        assert elapsed < 0.5
